@@ -1,0 +1,84 @@
+"""Case studies — Figures 2, 6, 7, 18, 19: the qualitative explanation summaries.
+
+Each benchmark runs one case study end to end and records the rendered summary
+plus structural checks of its shape (coverage, directions of the top drivers).
+"""
+
+from conftest import record_rows
+
+from repro.core import CauSumXConfig
+from repro.experiments import run_case_study
+from repro.mining.treatments import TreatmentMinerConfig
+
+CASE_SIZES = {
+    "figure2_stackoverflow": 2000,
+    "figure6_stackoverflow_sensitive": 2000,
+    "figure7_accidents": 3000,
+    "figure18_german": 1000,
+    "figure19_adult": 2000,
+}
+
+
+def _case_config() -> CauSumXConfig:
+    return CauSumXConfig(
+        sample_size=None, min_group_size=10,
+        treatment=TreatmentMinerConfig(max_levels=2, min_group_size=10,
+                                       significance_level=0.05,
+                                       max_values_per_attribute=10),
+    )
+
+
+def _run(benchmark, name: str):
+    def run():
+        summary, text = run_case_study(name, n=CASE_SIZES[name], seed=0,
+                                       config=_case_config())
+        rows = []
+        for pattern in summary.sorted_by_weight():
+            rows.append({
+                "grouping": repr(pattern.grouping_pattern),
+                "positive": repr(pattern.positive.pattern) if pattern.positive else None,
+                "positive_effect": round(pattern.positive.cate, 2) if pattern.positive else None,
+                "negative": repr(pattern.negative.pattern) if pattern.negative else None,
+                "negative_effect": round(pattern.negative.cate, 2) if pattern.negative else None,
+                "groups_covered": len(pattern.covered_groups),
+            })
+        return rows, text, summary
+
+    rows, text, summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference=name,
+                coverage=summary.coverage,
+                total_explainability=summary.total_explainability)
+    print(text)
+    return summary
+
+
+def test_figure2_stackoverflow_summary(benchmark):
+    summary = _run(benchmark, "figure2_stackoverflow")
+    assert summary.coverage == 1.0
+    assert all(p.positive.cate > 0 for p in summary if p.positive)
+    assert all(p.negative.cate < 0 for p in summary if p.negative)
+
+
+def test_figure6_sensitive_attributes_summary(benchmark):
+    summary = _run(benchmark, "figure6_stackoverflow_sensitive")
+    allowed = {"Gender", "Ethnicity", "AgeBand"}
+    for pattern in summary:
+        if pattern.positive:
+            assert set(pattern.positive.pattern.attributes) <= allowed
+        if pattern.negative:
+            assert set(pattern.negative.pattern.attributes) <= allowed
+
+
+def test_figure7_accidents_summary(benchmark):
+    summary = _run(benchmark, "figure7_accidents")
+    assert summary.coverage == 1.0
+
+
+def test_figure18_german_summary(benchmark):
+    summary = _run(benchmark, "figure18_german")
+    assert all(len(p.covered_groups) == 1 for p in summary)
+
+
+def test_figure19_adult_summary(benchmark):
+    summary = _run(benchmark, "figure19_adult")
+    assert len(summary) >= 1

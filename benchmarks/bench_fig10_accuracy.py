@@ -1,0 +1,23 @@
+"""Figure 10 — precision/recall of the grouping and treatment mining algorithms
+against Brute-Force on the synthetic dataset (ground truth known)."""
+
+from conftest import record_rows
+
+from repro.experiments import grouping_precision_recall, treatment_precision_recall
+
+
+def test_fig10a_grouping_accuracy(benchmark):
+    def run():
+        return grouping_precision_recall([2, 3, 4, 5], n=1000, seed=0)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 10(a)")
+
+
+def test_fig10b_treatment_accuracy(benchmark):
+    def run():
+        return treatment_precision_recall([2, 3, 4], n=600,
+                                          n_grouping_patterns=10, seed=0)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 10(b)")

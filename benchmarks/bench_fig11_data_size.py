@@ -1,0 +1,24 @@
+"""Figure 11 — runtime vs dataset size (Adult-like and CPS-like datasets)."""
+
+from conftest import bench_config, record_rows
+
+from repro.experiments import runtime_vs_data_size
+
+
+def test_fig11_adult_runtime_vs_size(benchmark, adult_bundle):
+    def run():
+        return runtime_vs_data_size(adult_bundle, sizes=[500, 1000, 2000],
+                                    config=bench_config())
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 11(a)")
+
+
+def test_fig11_cps_runtime_vs_size(benchmark, cps_bundle):
+    def run():
+        return runtime_vs_data_size(cps_bundle, sizes=[1000, 2000, 4000],
+                                    config=bench_config(sample_size=2000))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 11(b)",
+                note="sampling optimisation capped at 2000 tuples as in the paper's 1M cap")

@@ -1,0 +1,23 @@
+"""Figure 12 — runtime vs number of attributes (SO-like and Accidents-like datasets)."""
+
+from conftest import bench_config, record_rows
+
+from repro.experiments import runtime_vs_attributes
+
+
+def test_fig12_stackoverflow_runtime_vs_attributes(benchmark, so_bundle):
+    def run():
+        return runtime_vs_attributes(so_bundle, attribute_counts=[2, 4, 6, 8],
+                                     config=bench_config())
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 12(a)")
+
+
+def test_fig12_accidents_runtime_vs_attributes(benchmark, accidents_bundle):
+    def run():
+        return runtime_vs_attributes(accidents_bundle, attribute_counts=[2, 4, 6, 8],
+                                     config=bench_config(theta=1.0))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 12(b)")

@@ -1,0 +1,24 @@
+"""Figure 13 — runtime vs number of candidate treatment patterns
+(Adult-like and CPS-like datasets, varying values/bins per attribute)."""
+
+from conftest import bench_config, record_rows
+
+from repro.experiments import runtime_vs_treatment_patterns
+
+
+def test_fig13_adult_runtime_vs_treatments(benchmark, adult_bundle):
+    def run():
+        return runtime_vs_treatment_patterns(adult_bundle, bin_counts=[3, 6, 10],
+                                             config=bench_config())
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 13(a)")
+
+
+def test_fig13_cps_runtime_vs_treatments(benchmark, cps_bundle):
+    def run():
+        return runtime_vs_treatment_patterns(cps_bundle, bin_counts=[3, 6, 10],
+                                             config=bench_config(sample_size=2000))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 13(b)")

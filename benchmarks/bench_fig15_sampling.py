@@ -1,0 +1,27 @@
+"""Figures 15/22 — CATE estimation error and Kendall's tau vs sample size
+(Accidents-like dataset)."""
+
+from conftest import record_rows
+
+from repro.experiments import cate_vs_sample_size, kendall_vs_sample_size
+
+
+def test_fig15a_cate_vs_sample_size(benchmark, accidents_bundle):
+    def run():
+        return cate_vs_sample_size(accidents_bundle,
+                                   sample_sizes=[200, 500, 1000, 3000],
+                                   n_treatments=5, seed=0)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 15(a)/22(a)")
+
+
+def test_fig15b_kendall_vs_sample_size(benchmark, accidents_bundle):
+    def run():
+        return kendall_vs_sample_size(accidents_bundle,
+                                      sample_sizes=[200, 500, 1000, 3000],
+                                      n_treatments=15, seed=0)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 15(b)/22(b)",
+                expected_shape="tau rises toward 1.0 as the sample size grows")

@@ -1,0 +1,26 @@
+"""Figure 21 — explainability and coverage vs the Apriori threshold tau."""
+
+from conftest import bench_config, record_rows
+
+from repro.experiments import sweep_apriori_threshold
+
+
+def test_fig21_adult_apriori_threshold(benchmark, adult_bundle):
+    def run():
+        return sweep_apriori_threshold(adult_bundle,
+                                       thresholds=[0.0, 0.1, 0.25, 0.5],
+                                       config=bench_config())
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 21 (Adult)")
+
+
+def test_fig21_accidents_apriori_threshold(benchmark, accidents_bundle):
+    def run():
+        return sweep_apriori_threshold(accidents_bundle,
+                                       thresholds=[0.0, 0.1, 0.25, 0.5],
+                                       config=bench_config(theta=1.0))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 21 (Accidents)",
+                expected_shape="higher tau never increases explainability or coverage")

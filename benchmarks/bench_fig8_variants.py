@@ -1,0 +1,53 @@
+"""Figure 8(a-c) — runtime, overall explainability, and coverage of CauSumX,
+Greedy-Last-Step, and the Brute-Force variants.
+
+As in the paper, the Brute-Force variants are run only on the small German
+dataset (everywhere else they exceed the time cutoff); CauSumX and
+Greedy-Last-Step run on every dataset.
+"""
+
+from conftest import bench_config, record_rows
+
+from repro.experiments import run_variants_comparison
+
+
+def test_fig8_german_all_variants(benchmark, german_bundle):
+    config = bench_config(k=5, theta=0.5, include_singleton_groups=True)
+
+    def run():
+        return run_variants_comparison(
+            german_bundle,
+            variants=("CauSumX", "Greedy-Last-Step", "Brute-Force", "Brute-Force-LP"),
+            config=config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 8 (German)")
+
+
+def test_fig8_stackoverflow_fast_variants(benchmark, so_bundle):
+    def run():
+        return run_variants_comparison(
+            so_bundle, variants=("CauSumX", "Greedy-Last-Step"), config=bench_config())
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 8 (SO)")
+
+
+def test_fig8_accidents_fast_variants(benchmark, accidents_bundle):
+    def run():
+        return run_variants_comparison(
+            accidents_bundle, variants=("CauSumX", "Greedy-Last-Step"),
+            config=bench_config(theta=1.0))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 8 (Accidents)")
+
+
+def test_fig8_adult_fast_variants(benchmark, adult_bundle):
+    def run():
+        return run_variants_comparison(
+            adult_bundle, variants=("CauSumX", "Greedy-Last-Step"),
+            config=bench_config(theta=0.75))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 8 (Adult)")

@@ -1,0 +1,15 @@
+"""Figure 9 — explainability and coverage of CauSumX vs Greedy-Last-Step while
+varying the solution size k (SO dataset)."""
+
+from conftest import bench_config, record_rows
+
+from repro.experiments import sweep_k
+
+
+def test_fig9_vary_k_stackoverflow(benchmark, so_bundle):
+    def run():
+        return sweep_k(so_bundle, k_values=[1, 2, 3, 4, 6],
+                       config=bench_config(theta=0.75))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Figure 9")

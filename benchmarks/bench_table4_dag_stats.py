@@ -1,0 +1,17 @@
+"""Table 4 — causal DAG statistics (edges, density) per discovery algorithm."""
+
+from conftest import record_rows
+
+from repro.experiments import dag_statistics_table
+
+
+def test_table4_dag_statistics(benchmark, german_bundle, adult_bundle, so_bundle):
+    def build_table4():
+        rows = []
+        for bundle in (german_bundle, adult_bundle, so_bundle):
+            rows.extend(dag_statistics_table(
+                bundle, methods=("ground_truth", "PC", "FCI", "LiNGAM")))
+        return rows
+
+    rows = benchmark.pedantic(build_table4, rounds=1, iterations=1)
+    record_rows(benchmark, rows, paper_reference="Table 4")

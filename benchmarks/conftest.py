@@ -1,0 +1,98 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 6).  Dataset sizes are scaled down from the paper's (laptop-scale CI
+budget) but the code paths and the qualitative shapes are the same; the exact
+sizes used are recorded in each benchmark's ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core import CauSumXConfig  # noqa: E402
+from repro.datasets import load_dataset  # noqa: E402
+from repro.mining.treatments import TreatmentMinerConfig  # noqa: E402
+
+# Benchmark-scale dataset sizes (paper sizes in Table 3 are 1k-2.8M).
+BENCH_SIZES = {
+    "german": 1000,
+    "adult": 2000,
+    "stackoverflow": 2000,
+    "cps": 4000,
+    "accidents": 3000,
+    "synthetic": 1000,
+}
+
+
+def bench_config(**overrides) -> CauSumXConfig:
+    """The default benchmark configuration (paper defaults, shallower lattice)."""
+    config = CauSumXConfig(
+        k=5, theta=0.75, apriori_threshold=0.1, sample_size=None,
+        min_group_size=10,
+        treatment=TreatmentMinerConfig(max_levels=2, min_group_size=10,
+                                       significance_level=0.05,
+                                       max_values_per_attribute=10),
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+@pytest.fixture(scope="session")
+def bundles():
+    """All benchmark datasets, generated once per session."""
+    return {name: load_dataset(name, n=size, seed=0)
+            for name, size in BENCH_SIZES.items()}
+
+
+@pytest.fixture(scope="session")
+def so_bundle(bundles):
+    return bundles["stackoverflow"]
+
+
+@pytest.fixture(scope="session")
+def german_bundle(bundles):
+    return bundles["german"]
+
+
+@pytest.fixture(scope="session")
+def adult_bundle(bundles):
+    return bundles["adult"]
+
+
+@pytest.fixture(scope="session")
+def accidents_bundle(bundles):
+    return bundles["accidents"]
+
+
+@pytest.fixture(scope="session")
+def cps_bundle(bundles):
+    return bundles["cps"]
+
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def record_rows(benchmark, rows, **extra) -> None:
+    """Attach experiment result rows to the benchmark record, echo them, and
+    persist them as JSON under ``benchmarks/results/`` so EXPERIMENTS.md can be
+    regenerated from the latest run."""
+    import json
+
+    benchmark.extra_info["rows"] = rows
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+    print()
+    for row in rows:
+        print("   ", row)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = benchmark.name.replace("/", "_")
+    payload = {"benchmark": benchmark.name, "rows": rows, **extra}
+    with (RESULTS_DIR / f"{name}.json").open("w") as handle:
+        json.dump(payload, handle, indent=2, default=str)

@@ -1,0 +1,46 @@
+"""Case study: credit-risk explanations per loan purpose (German dataset, Figure 18).
+
+The German dataset has no attributes functionally determined by the grouping
+attribute (loan purpose), so every purpose needs its own explanation pattern.
+The example also contrasts CauSumX with two associational baselines
+(Explanation-Table and IDS) on the same data.
+
+Run with:  python examples/credit_risk.py
+"""
+
+from repro import CauSumX, CauSumXConfig, load_dataset, render_summary
+from repro.baselines import ExplanationTable, InterpretableDecisionSets
+
+
+def main() -> None:
+    bundle = load_dataset("german", n=1000, seed=0)
+    config = CauSumXConfig(k=5, theta=0.5, sample_size=None,
+                           include_singleton_groups=True)
+    summary = CauSumX(bundle.table, bundle.dag, config).explain(
+        bundle.query,
+        grouping_attributes=bundle.grouping_attributes,
+        treatment_attributes=bundle.treatment_attributes,
+    )
+    print("CauSumX (causal, per-purpose) summary:\n")
+    print(render_summary(summary, outcome="credit risk score"))
+
+    attributes = bundle.treatment_attributes
+    print("\nExplanation-Table (information gain, not causal):")
+    et = ExplanationTable(n_patterns=5, max_length=2).fit(
+        bundle.table, "RiskScore", attributes=attributes)
+    for rule in et.rules:
+        print(f"  {rule}")
+
+    print("\nInterpretable Decision Sets (predictive rules, not causal):")
+    ids = InterpretableDecisionSets(max_rules=5, max_length=2).fit(
+        bundle.table, "RiskScore", attributes=attributes)
+    for rule in ids.rules:
+        print(f"  {rule}")
+    print(f"  (classification accuracy {ids.accuracy(bundle.table, 'RiskScore'):.2f})")
+
+    print("\nNote how the baselines surface frequent/high-information patterns,")
+    print("while CauSumX surfaces treatments with high adjusted causal effects.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Using CauSumX on your own CSV data, with and without a known causal DAG.
+
+The script writes a small marketing dataset to CSV, loads it back through the
+library's CSV reader, discovers a causal DAG with the PC algorithm, and
+compares the explanation summaries obtained with the discovered DAG vs the
+hand-specified one (the Section 6.6 experiment in miniature).
+
+Run with:  python examples/custom_data_and_dag.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    CausalDAG,
+    CauSumX,
+    CauSumXConfig,
+    GroupByAvgQuery,
+    Table,
+    read_csv,
+    render_summary,
+    write_csv,
+)
+from repro.discovery import pc_algorithm
+
+
+def make_marketing_table(n: int = 1500, seed: int = 0) -> Table:
+    """Campaign revenue data: revenue is driven by channel and discount, confounded by segment."""
+    rng = np.random.default_rng(seed)
+    segment = rng.choice(["Consumer", "SMB", "Enterprise"], size=n, p=[0.5, 0.3, 0.2])
+    region = rng.choice(["NA", "EMEA", "APAC"], size=n)
+    tier = np.where(region == "NA", "Tier-1", np.where(region == "EMEA", "Tier-1", "Tier-2"))
+    channel = np.where((segment == "Enterprise") & (rng.random(n) < 0.7), "DirectSales",
+                       rng.choice(["Email", "Social", "DirectSales"], size=n))
+    discount = np.where(rng.random(n) < 0.3, "Yes", "No")
+    revenue = (
+        100.0
+        + np.where(segment == "Enterprise", 220.0, np.where(segment == "SMB", 80.0, 0.0))
+        + np.where(channel == "DirectSales", 90.0, np.where(channel == "Email", 20.0, 0.0))
+        + np.where(discount == "Yes", -35.0, 0.0)
+        + np.where(tier == "Tier-1", 25.0, 0.0)
+        + rng.normal(0, 30, n)
+    )
+    return Table.from_columns({
+        "Region": list(region), "Tier": list(tier), "Segment": list(segment),
+        "Channel": list(channel), "Discount": list(discount),
+        "Revenue": [float(v) for v in revenue],
+    }, name="marketing")
+
+
+def main() -> None:
+    table = make_marketing_table()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "marketing.csv"
+        write_csv(table, path)
+        table = read_csv(path)  # round-trip through CSV as a user would
+    query = GroupByAvgQuery(group_by="Region", average="Revenue", table_name="marketing")
+
+    expert_dag = CausalDAG.from_dict({
+        "Tier": ["Region"],
+        "Channel": ["Segment"],
+        "Revenue": ["Segment", "Channel", "Discount", "Tier"],
+        "Segment": [], "Discount": [], "Region": [],
+    })
+    discovered_dag = pc_algorithm(table)
+    print(f"Expert DAG: {expert_dag.n_edges} edges; "
+          f"PC-discovered DAG: {discovered_dag.n_edges} edges\n")
+
+    config = CauSumXConfig(k=2, theta=1.0, sample_size=None)
+    for label, dag in (("expert DAG", expert_dag), ("PC-discovered DAG", discovered_dag)):
+        summary = CauSumX(table, dag, config).explain(query)
+        print(f"--- Summary with the {label} ---")
+        print(render_summary(summary, outcome="campaign revenue"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

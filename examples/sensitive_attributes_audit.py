@@ -1,0 +1,47 @@
+"""Bias audit: restrict treatments to sensitive attributes (Figure 6).
+
+CauSumX can be pointed at a restricted treatment-attribute set.  Restricting to
+sensitive attributes (gender, ethnicity, age) turns the explanation summary
+into a disparity audit: which demographic factors causally influence salary in
+which groups of countries, after adjusting for the confounders in the causal
+DAG?  The script contrasts the causal estimates with naive group differences to
+show why adjustment matters.
+
+Run with:  python examples/sensitive_attributes_audit.py
+"""
+
+from repro import CauSumX, CauSumXConfig, Pattern, load_dataset, render_summary
+from repro.causal import naive_difference_in_means
+
+SENSITIVE = ["Gender", "Ethnicity", "AgeBand"]
+
+
+def main() -> None:
+    bundle = load_dataset("stackoverflow", n=2000, seed=0)
+    config = CauSumXConfig(k=3, theta=1.0, sample_size=None)
+    summary = CauSumX(bundle.table, bundle.dag, config).explain(
+        bundle.query,
+        grouping_attributes=bundle.grouping_attributes,
+        treatment_attributes=SENSITIVE,
+    )
+    print("Sensitive-attribute explanation summary:\n")
+    print(render_summary(summary, outcome="annual salary"))
+
+    print("\nAdjusted (causal) vs naive estimates for two sensitive treatments:\n")
+    from repro.causal import CATEEstimator
+
+    estimator = CATEEstimator(bundle.table, "Salary", dag=bundle.dag)
+    for treatment in (Pattern.of(("Gender", "=", "Male")),
+                      Pattern.of(("AgeBand", "=", "55+"))):
+        adjusted = estimator.estimate(treatment)
+        naive = naive_difference_in_means(
+            bundle.table.column("Salary").values, treatment.evaluate(bundle.table))
+        print(f"  {treatment!r}")
+        print(f"    adjusted CATE : {adjusted.value:>10,.0f}  (p {adjusted.p_value:.2g})")
+        print(f"    naive diff    : {naive.value:>10,.0f}")
+    print("\nThe naive differences mix the demographic effect with role, country,")
+    print("and education composition; the adjusted estimates isolate it.")
+
+
+if __name__ == "__main__":
+    main()

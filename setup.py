@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only so
+that legacy tooling (and offline environments without the ``wheel`` package,
+where PEP 660 editable installs are unavailable) can still do
+``python setup.py develop`` or ``pip install .``.
+"""
+
+from setuptools import setup
+
+setup()

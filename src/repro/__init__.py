@@ -1,0 +1,63 @@
+"""repro — a reproduction of CauSumX: summarized causal explanations for aggregate views.
+
+The package implements the CauSumX framework (SIGMOD 2024) together with every
+substrate it relies on: a columnar table engine, a group-by-average query
+layer, causal DAGs with backdoor adjustment, regression-based CATE estimation,
+causal discovery, Apriori and lattice pattern mining, the LP-rounding
+optimiser, the paper's baselines, and generators for the evaluation datasets.
+
+Quickstart
+----------
+>>> from repro import CauSumX, load_dataset, render_summary
+>>> bundle = load_dataset("stackoverflow", n=2000)
+>>> summary = CauSumX(bundle.table, bundle.dag).explain(bundle.query)
+>>> print(render_summary(summary, outcome="annual salary"))
+"""
+
+from repro.core import (
+    CauSumX,
+    CauSumXConfig,
+    ExplanationPattern,
+    ExplanationSummary,
+    brute_force,
+    brute_force_lp,
+    greedy_last_step,
+    render_summary,
+)
+from repro.dataframe import Column, Op, Pattern, Predicate, Table, read_csv, write_csv
+from repro.datasets import DatasetBundle, list_datasets, load_dataset
+from repro.graph import CausalDAG
+from repro.causal import CATEEstimator, EffectEstimate, estimate_ate, estimate_cate
+from repro.sql import AggregateView, GroupByAvgQuery, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CauSumX",
+    "CauSumXConfig",
+    "ExplanationPattern",
+    "ExplanationSummary",
+    "brute_force",
+    "brute_force_lp",
+    "greedy_last_step",
+    "render_summary",
+    "Column",
+    "Op",
+    "Pattern",
+    "Predicate",
+    "Table",
+    "read_csv",
+    "write_csv",
+    "DatasetBundle",
+    "list_datasets",
+    "load_dataset",
+    "CausalDAG",
+    "CATEEstimator",
+    "EffectEstimate",
+    "estimate_ate",
+    "estimate_cate",
+    "AggregateView",
+    "GroupByAvgQuery",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Baseline explanation methods compared against CauSumX in Section 6."""
+
+from repro.baselines.common import binarize_outcome, Rule
+from repro.baselines.explanation_table import ExplanationTable, ExplanationTableG
+from repro.baselines.decision_sets import InterpretableDecisionSets
+from repro.baselines.falling_rule_list import FallingRuleList
+from repro.baselines.xinsight import XInsightPairwise, PairwiseExplanation
+
+__all__ = [
+    "binarize_outcome",
+    "Rule",
+    "ExplanationTable",
+    "ExplanationTableG",
+    "InterpretableDecisionSets",
+    "FallingRuleList",
+    "XInsightPairwise",
+    "PairwiseExplanation",
+]

@@ -1,0 +1,40 @@
+"""Shared utilities of the baseline methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataframe import Column, Pattern, Table
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A predictive rule: ``IF pattern THEN outcome`` with supporting statistics."""
+
+    pattern: Pattern
+    prediction: float
+    support: int
+    confidence: float
+
+    def __repr__(self) -> str:
+        return (f"Rule({self.pattern!r} => {self.prediction:.3g}, "
+                f"support={self.support}, confidence={self.confidence:.2f})")
+
+
+def binarize_outcome(table: Table, outcome: str, threshold: float | None = None,
+                     new_name: str | None = None) -> tuple[Table, str]:
+    """Bin a numeric outcome into {0, 1} around its mean (or a given threshold).
+
+    IDS, FRL, and Explanation-Table assume a binary outcome; the paper bins the
+    outcome at its average value for those baselines.
+    """
+    values = table.column(outcome).values.astype(np.float64)
+    if threshold is None:
+        threshold = float(np.nanmean(values))
+    new_name = new_name or f"{outcome}_high"
+    binary = [float(v > threshold) if v == v else None for v in values]
+    columns = [table.column(a) for a in table.attributes]
+    columns.append(Column(new_name, binary, numeric=True))
+    return Table(columns, name=table.name), new_name

@@ -1,0 +1,20 @@
+"""Checks for the identification assumptions of Section 3 (overlap / positivity)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def overlap_holds(treatment_mask: np.ndarray) -> bool:
+    """The overlap condition Eq. (4): both treated and control units must exist."""
+    treatment_mask = np.asarray(treatment_mask, dtype=bool)
+    n_treated = int(treatment_mask.sum())
+    return 0 < n_treated < treatment_mask.size
+
+
+def check_positivity(treatment_mask: np.ndarray, min_group_size: int = 1) -> bool:
+    """Stricter overlap check requiring at least ``min_group_size`` units per arm."""
+    treatment_mask = np.asarray(treatment_mask, dtype=bool)
+    n_treated = int(treatment_mask.sum())
+    n_control = int(treatment_mask.size - n_treated)
+    return n_treated >= min_group_size and n_control >= min_group_size

@@ -1,0 +1,81 @@
+"""Ordinary least squares with coefficient standard errors and p-values."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class OLSResult:
+    """Fitted OLS coefficients plus inferential statistics."""
+
+    coefficients: np.ndarray
+    std_errors: np.ndarray
+    t_values: np.ndarray
+    p_values: np.ndarray
+    feature_names: tuple[str, ...]
+    n_obs: int
+    df_resid: int
+    r_squared: float
+
+    def coefficient(self, name: str) -> float:
+        return float(self.coefficients[self.feature_names.index(name)])
+
+    def std_error(self, name: str) -> float:
+        return float(self.std_errors[self.feature_names.index(name)])
+
+    def p_value(self, name: str) -> float:
+        return float(self.p_values[self.feature_names.index(name)])
+
+
+def ols_fit(design: np.ndarray, outcome: np.ndarray,
+            feature_names: list[str] | None = None) -> OLSResult:
+    """Fit ``outcome ~ design`` by least squares.
+
+    Uses the pseudo-inverse so rank-deficient designs (e.g. collinear one-hot
+    blocks) do not fail; standard errors for unidentifiable coefficients are
+    large rather than raising.
+    """
+    design = np.asarray(design, dtype=np.float64)
+    outcome = np.asarray(outcome, dtype=np.float64)
+    if design.ndim != 2:
+        raise ValueError("design matrix must be 2-dimensional")
+    n, p = design.shape
+    if outcome.shape != (n,):
+        raise ValueError("outcome length does not match design matrix")
+    if feature_names is None:
+        feature_names = [f"x{i}" for i in range(p)]
+    if len(feature_names) != p:
+        raise ValueError("feature_names length does not match design matrix")
+
+    gram = design.T @ design
+    gram_pinv = np.linalg.pinv(gram)
+    coefficients = gram_pinv @ design.T @ outcome
+    fitted = design @ coefficients
+    residuals = outcome - fitted
+    df_resid = max(n - np.linalg.matrix_rank(design), 1)
+    sigma2 = float(residuals @ residuals) / df_resid
+    covariance = sigma2 * gram_pinv
+    variances = np.clip(np.diag(covariance), 0.0, None)
+    std_errors = np.sqrt(variances)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_values = np.where(std_errors > 0, coefficients / std_errors, 0.0)
+    p_values = 2.0 * stats.t.sf(np.abs(t_values), df_resid)
+
+    total_ss = float(((outcome - outcome.mean()) ** 2).sum())
+    resid_ss = float((residuals ** 2).sum())
+    r_squared = 1.0 - resid_ss / total_ss if total_ss > 0 else 0.0
+
+    return OLSResult(
+        coefficients=coefficients,
+        std_errors=std_errors,
+        t_values=t_values,
+        p_values=np.asarray(p_values),
+        feature_names=tuple(feature_names),
+        n_obs=n,
+        df_resid=df_resid,
+        r_squared=r_squared,
+    )

@@ -1,0 +1,34 @@
+"""The CauSumX framework: summarized causal explanations for aggregate views."""
+
+from repro.core.config import CauSumXConfig
+from repro.core.patterns import ExplanationPattern, ExplanationSummary
+from repro.core.causumx import CauSumX, brute_force, brute_force_lp, greedy_last_step
+from repro.core.render import render_summary, render_pattern
+from repro.core.export import (
+    summary_to_dict,
+    summary_to_json,
+    summary_to_markdown,
+    pattern_to_dict,
+    pattern_from_dict,
+)
+from repro.core.validation import ValidationIssue, ValidationReport, validate_inputs
+
+__all__ = [
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_inputs",
+    "summary_to_dict",
+    "summary_to_json",
+    "summary_to_markdown",
+    "pattern_to_dict",
+    "pattern_from_dict",
+    "CauSumXConfig",
+    "ExplanationPattern",
+    "ExplanationSummary",
+    "CauSumX",
+    "brute_force",
+    "brute_force_lp",
+    "greedy_last_step",
+    "render_summary",
+    "render_pattern",
+]

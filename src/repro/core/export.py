@@ -1,0 +1,97 @@
+"""Export explanation summaries to machine-readable and report formats."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.patterns import ExplanationPattern, ExplanationSummary
+from repro.core.render import describe_pattern
+from repro.dataframe import Pattern, Predicate
+
+
+def pattern_to_dict(pattern: Pattern) -> list[dict]:
+    """Serialise a conjunctive pattern as a list of predicate dictionaries."""
+    return [{"attribute": p.attribute, "op": p.op.value, "value": p.value}
+            for p in pattern]
+
+
+def pattern_from_dict(spec: list[dict]) -> Pattern:
+    """Inverse of :func:`pattern_to_dict`."""
+    return Pattern(Predicate(item["attribute"], item["op"], item["value"])
+                   for item in spec)
+
+
+def explanation_to_dict(pattern: ExplanationPattern) -> dict[str, Any]:
+    """Serialise one explanation pattern."""
+    payload: dict[str, Any] = {
+        "grouping_pattern": pattern_to_dict(pattern.grouping_pattern),
+        "covered_groups": [list(key) for key in sorted(pattern.covered_groups, key=repr)],
+        "explainability": pattern.explainability,
+    }
+    for direction, candidate in (("positive", pattern.positive),
+                                 ("negative", pattern.negative)):
+        if candidate is None:
+            payload[direction] = None
+        else:
+            payload[direction] = {
+                "treatment_pattern": pattern_to_dict(candidate.pattern),
+                "cate": candidate.estimate.value,
+                "std_error": candidate.estimate.std_error,
+                "p_value": candidate.estimate.p_value,
+                "n_treated": candidate.estimate.n_treated,
+                "n_control": candidate.estimate.n_control,
+            }
+    return payload
+
+
+def summary_to_dict(summary: ExplanationSummary) -> dict[str, Any]:
+    """Serialise a whole explanation summary (JSON-compatible)."""
+    return {
+        "k": summary.k,
+        "theta": summary.theta,
+        "coverage": summary.coverage,
+        "total_explainability": summary.total_explainability,
+        "feasible": summary.feasible,
+        "n_candidates": summary.n_candidates,
+        "groups": [list(key) for key in summary.all_groups],
+        "timings": dict(summary.timings),
+        "patterns": [explanation_to_dict(p) for p in summary.sorted_by_weight()],
+    }
+
+
+def summary_to_json(summary: ExplanationSummary, indent: int = 2) -> str:
+    """Serialise a summary to a JSON string."""
+    return json.dumps(summary_to_dict(summary), indent=indent, default=str)
+
+
+def summary_to_markdown(summary: ExplanationSummary, outcome: str = "the outcome") -> str:
+    """Render a summary as a Markdown report (one section per explanation pattern)."""
+    lines = ["# Causal explanation summary", "",
+             f"- explanation patterns: {len(summary)} (k = {summary.k})",
+             f"- coverage: {summary.coverage:.0%} of {len(summary.all_groups)} groups "
+             f"(θ = {summary.theta})",
+             f"- total explainability: {summary.total_explainability:,.4g}", ""]
+    for i, pattern in enumerate(summary.sorted_by_weight(), 1):
+        lines.append(f"## Insight {i}: groups where {describe_pattern(pattern.grouping_pattern)}")
+        lines.append("")
+        lines.append("| direction | treatment | effect on " + outcome + " | p-value |")
+        lines.append("|---|---|---|---|")
+        for label, candidate in (("positive", pattern.positive),
+                                 ("negative", pattern.negative)):
+            if candidate is None:
+                lines.append(f"| {label} | — | — | — |")
+            else:
+                lines.append(
+                    f"| {label} | {describe_pattern(candidate.pattern)} "
+                    f"| {candidate.estimate.value:,.4g} "
+                    f"| {candidate.estimate.p_value:.2g} |")
+        covered = ", ".join("/".join(str(v) for v in key)
+                            for key in sorted(pattern.covered_groups, key=repr)[:8])
+        more = len(pattern.covered_groups) - 8
+        if more > 0:
+            covered += f" (+{more} more)"
+        lines.append("")
+        lines.append(f"Covers: {covered}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Explanation patterns and explanation summaries (Definitions 4.2-4.5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.dataframe import Pattern
+from repro.mining.grouping import GroupingPattern
+from repro.mining.treatments import TreatmentCandidate
+
+
+@dataclass
+class ExplanationPattern:
+    """One entry of the explanation summary.
+
+    It pairs a grouping pattern with a positive and/or a negative treatment
+    pattern; its weight is the sum of the absolute explainabilities of the
+    directions present (Section 4.2).
+    """
+
+    grouping: GroupingPattern
+    positive: TreatmentCandidate | None = None
+    negative: TreatmentCandidate | None = None
+
+    @property
+    def grouping_pattern(self) -> Pattern:
+        return self.grouping.pattern
+
+    @property
+    def covered_groups(self) -> frozenset:
+        return self.grouping.covered_groups
+
+    @property
+    def explainability(self) -> float:
+        """|CATE+| + |CATE-| over the directions that were found (Section 4.2)."""
+        total = 0.0
+        if self.positive is not None:
+            total += abs(self.positive.cate)
+        if self.negative is not None:
+            total += abs(self.negative.cate)
+        return total
+
+    def has_treatment(self) -> bool:
+        return self.positive is not None or self.negative is not None
+
+    def __repr__(self) -> str:
+        pos = f"+{self.positive.cate:.3g}" if self.positive else "+none"
+        neg = f"{self.negative.cate:.3g}" if self.negative else "-none"
+        return (f"ExplanationPattern({self.grouping_pattern!r}, {pos}, {neg}, "
+                f"covers={len(self.covered_groups)})")
+
+
+@dataclass
+class ExplanationSummary:
+    """The output of CauSumX: a set of explanation patterns plus bookkeeping."""
+
+    patterns: list[ExplanationPattern]
+    all_groups: tuple
+    k: int
+    theta: float
+    timings: dict = field(default_factory=dict)
+    n_candidates: int = 0
+    feasible: bool = True
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+    @property
+    def covered_groups(self) -> frozenset:
+        covered: set = set()
+        for pattern in self.patterns:
+            covered |= pattern.covered_groups
+        return frozenset(covered) & set(self.all_groups)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of view groups covered by the summary."""
+        if not self.all_groups:
+            return 0.0
+        return len(self.covered_groups) / len(self.all_groups)
+
+    @property
+    def total_explainability(self) -> float:
+        """The optimisation objective: total explainability of the selected patterns."""
+        return sum(p.explainability for p in self.patterns)
+
+    def satisfies_constraints(self) -> bool:
+        """Size, coverage, and incomparability constraints of Definition 4.5."""
+        if len(self.patterns) > self.k:
+            return False
+        if self.coverage + 1e-9 < self.theta:
+            return False
+        coverages = [p.covered_groups for p in self.patterns]
+        return len(set(coverages)) == len(coverages)
+
+    def group_assignment(self) -> dict:
+        """Map each covered group to the explanation patterns covering it."""
+        assignment: dict = {g: [] for g in self.all_groups}
+        for i, pattern in enumerate(self.patterns):
+            for group in pattern.covered_groups:
+                if group in assignment:
+                    assignment[group].append(i)
+        return assignment
+
+    def uncovered_groups(self) -> list:
+        covered = self.covered_groups
+        return [g for g in self.all_groups if g not in covered]
+
+    def sorted_by_weight(self) -> list[ExplanationPattern]:
+        return sorted(self.patterns, key=lambda p: -p.explainability)

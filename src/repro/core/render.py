@@ -1,0 +1,77 @@
+"""Natural-language rendering of explanation summaries (Figure 2 style).
+
+The original system produced these sentences through fixed templates; the
+templates here are deterministic equivalents.
+"""
+
+from __future__ import annotations
+
+from repro.core.patterns import ExplanationPattern, ExplanationSummary
+from repro.dataframe import Op, Pattern, Predicate
+
+
+def describe_predicate(predicate: Predicate) -> str:
+    """Human-readable phrase for one simple predicate."""
+    attribute = predicate.attribute.replace("_", " ")
+    value = predicate.value
+    if predicate.op is Op.EQ:
+        return f"{attribute} is {value}"
+    if predicate.op is Op.NE:
+        return f"{attribute} is not {value}"
+    if predicate.op in (Op.LT, Op.LE):
+        bound = "below" if predicate.op is Op.LT else "at most"
+        return f"{attribute} is {bound} {value}"
+    bound = "above" if predicate.op is Op.GT else "at least"
+    return f"{attribute} is {bound} {value}"
+
+
+def describe_pattern(pattern: Pattern) -> str:
+    """Human-readable phrase for a conjunctive pattern."""
+    if pattern.is_empty():
+        return "all tuples"
+    return " and ".join(describe_predicate(p) for p in pattern)
+
+
+def render_pattern(pattern: ExplanationPattern, outcome: str = "the outcome") -> str:
+    """Render one explanation pattern as a Figure 2 style bullet."""
+    group_clause = describe_pattern(pattern.grouping_pattern)
+    lines = [f"For groups where {group_clause}:"]
+    if pattern.positive is not None:
+        effect = pattern.positive.estimate
+        lines.append(
+            f"  the most substantial positive effect on {outcome} "
+            f"(effect size {effect.value:,.3g}, p {_format_p(effect.p_value)}) is observed "
+            f"when {describe_pattern(pattern.positive.pattern)}.")
+    if pattern.negative is not None:
+        effect = pattern.negative.estimate
+        lines.append(
+            f"  conversely, {describe_pattern(pattern.negative.pattern)} has the "
+            f"greatest adverse impact on {outcome} "
+            f"(effect size {effect.value:,.3g}, p {_format_p(effect.p_value)}).")
+    if pattern.positive is None and pattern.negative is None:
+        lines.append("  no statistically significant treatment was found.")
+    return "\n".join(lines)
+
+
+def render_summary(summary: ExplanationSummary, outcome: str = "the outcome") -> str:
+    """Render the whole explanation summary as bullet text."""
+    if not summary.patterns:
+        return ("No explanation patterns satisfy the constraints "
+                f"(k={summary.k}, theta={summary.theta}).")
+    blocks = [render_pattern(p, outcome) for p in summary.sorted_by_weight()]
+    footer = (f"[{len(summary.patterns)} explanation pattern(s), "
+              f"coverage {summary.coverage:.0%} of {len(summary.all_groups)} groups, "
+              f"total explainability {summary.total_explainability:,.4g}]")
+    return "\n".join(["• " + block for block in blocks] + [footer])
+
+
+def _format_p(p_value: float) -> str:
+    if p_value < 1e-4:
+        return "< 1e-4"
+    if p_value < 1e-3:
+        return "< 1e-3"
+    if p_value < 1e-2:
+        return "< 1e-2"
+    if p_value < 0.05:
+        return "< 0.05"
+    return f"= {p_value:.2g}"

@@ -1,0 +1,138 @@
+"""Input diagnostics for CauSumX runs.
+
+The paper's framework rests on assumptions that are easy to violate silently:
+the causal DAG should cover the analysed attributes, the outcome must be
+numeric, SUTVA presumes no duplicate / dependent tuples, and CATE estimation
+needs overlap inside each sub-population.  ``validate_inputs`` checks these up
+front and returns a structured report so callers (and the CLI) can warn the
+user before spending minutes mining treatments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataframe import Table, grouping_attribute_partition
+from repro.graph import CausalDAG
+from repro.sql import AggregateView, GroupByAvgQuery
+
+
+@dataclass
+class ValidationIssue:
+    """One diagnostic finding."""
+
+    severity: str  # "error" | "warning"
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """The set of findings for one (table, query, DAG) triple."""
+
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    def add(self, severity: str, code: str, message: str) -> None:
+        self.issues.append(ValidationIssue(severity, code, message))
+
+    @property
+    def errors(self) -> list[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> list[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    def ok(self) -> bool:
+        """True when no blocking errors were found (warnings allowed)."""
+        return not self.errors
+
+
+def validate_inputs(table: Table, query: GroupByAvgQuery,
+                    dag: CausalDAG | None = None,
+                    min_group_size: int = 10) -> ValidationReport:
+    """Check a CauSumX input triple and return a diagnostics report.
+
+    Errors (block the run): missing/ill-typed query attributes, fewer than two
+    groups in the view.  Warnings (degrade quality): attributes absent from
+    the DAG, outcome with no parents in the DAG, duplicate tuples (SUTVA),
+    groups too small for CATE estimation, missing outcome values, and the
+    absence of FD-derived grouping attributes.
+    """
+    report = ValidationReport()
+
+    # --- query vs schema ------------------------------------------------------
+    try:
+        query.validate(table)
+    except (KeyError, TypeError) as exc:
+        report.add("error", "invalid-query", str(exc))
+        return report
+
+    view = AggregateView(table, query)
+    if view.m < 2:
+        report.add("error", "degenerate-view",
+                   f"the query produces {view.m} group(s); explanations need at least 2")
+
+    # --- causal DAG coverage --------------------------------------------------
+    if dag is None:
+        report.add("warning", "no-dag",
+                   "no causal DAG supplied; CATE estimates will be unadjusted "
+                   "or rely on a discovered DAG")
+    else:
+        missing = [a for a in table.attributes if a not in dag]
+        if missing:
+            report.add("warning", "attributes-missing-from-dag",
+                       f"{len(missing)} attribute(s) absent from the DAG: "
+                       f"{', '.join(missing[:5])}"
+                       + ("…" if len(missing) > 5 else ""))
+        if query.average in dag and not dag.parents(query.average):
+            report.add("warning", "outcome-has-no-parents",
+                       f"the outcome {query.average!r} has no parents in the DAG; "
+                       "no attribute will be considered causally relevant")
+        extra = [n for n in dag.nodes if n not in table]
+        if extra:
+            report.add("warning", "dag-nodes-missing-from-table",
+                       f"DAG nodes not present in the table: {', '.join(extra[:5])}")
+
+    # --- SUTVA / duplicates ---------------------------------------------------
+    seen = set()
+    duplicates = 0
+    for row in table.iter_rows():
+        key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+        if key in seen:
+            duplicates += 1
+        else:
+            seen.add(key)
+    if duplicates:
+        report.add("warning", "duplicate-tuples",
+                   f"{duplicates} duplicate tuple(s) found; dependent or duplicated "
+                   "units can violate SUTVA")
+
+    # --- outcome quality ------------------------------------------------------
+    n_missing = table.column(query.average).n_missing()
+    if n_missing:
+        report.add("warning", "missing-outcome-values",
+                   f"{n_missing} tuple(s) have a missing {query.average!r}; "
+                   "they are ignored during CATE estimation")
+
+    # --- group sizes and attribute partition -----------------------------------
+    small_groups = [g.label() for g in view.groups if g.size < 2 * min_group_size]
+    if small_groups:
+        report.add("warning", "small-groups",
+                   f"{len(small_groups)} group(s) have fewer than "
+                   f"{2 * min_group_size} tuples (e.g. {small_groups[0]}); "
+                   "treatments for them are unlikely to reach significance")
+    grouping, treatment = grouping_attribute_partition(
+        view.table, list(query.group_by), query.average)
+    if not grouping:
+        report.add("warning", "no-grouping-attributes",
+                   "no attribute is functionally determined by the group-by "
+                   "attributes; each group will need its own explanation "
+                   "(enable include_singleton_groups)")
+    if not treatment:
+        report.add("error", "no-treatment-attributes",
+                   "no attributes are available for treatment patterns")
+    return report

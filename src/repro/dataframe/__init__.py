@@ -1,0 +1,34 @@
+"""Lightweight columnar table engine used as the data substrate for CauSumX.
+
+The original prototype relies on pandas; this package provides the subset of
+relational functionality the algorithms need — typed columns, predicate
+evaluation, selection, projection, group-by-average, functional-dependency
+detection, sampling, and design-matrix encoding — implemented on numpy.
+"""
+
+from repro.dataframe.column import Column
+from repro.dataframe.predicates import Op, Pattern, Predicate
+from repro.dataframe.table import Table
+from repro.dataframe.functional_deps import fd_holds, fd_closure, grouping_attribute_partition
+from repro.dataframe.encoding import design_matrix, one_hot
+from repro.dataframe.binning import bin_edges, bin_label, discretize, discretize_column
+from repro.dataframe.io import read_csv, write_csv
+
+__all__ = [
+    "bin_edges",
+    "bin_label",
+    "discretize",
+    "discretize_column",
+    "Column",
+    "Op",
+    "Pattern",
+    "Predicate",
+    "Table",
+    "fd_holds",
+    "fd_closure",
+    "grouping_attribute_partition",
+    "design_matrix",
+    "one_hot",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,144 @@
+"""Typed column wrapper around a numpy array."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class Column:
+    """A named, typed column of values.
+
+    Columns are either *numeric* (stored as ``float64``) or *categorical*
+    (stored as ``object``).  Missing values are represented as ``np.nan`` for
+    numeric columns and ``None`` for categorical columns.
+    """
+
+    def __init__(self, name: str, values: Iterable, numeric: bool | None = None):
+        if not isinstance(name, str) or not name:
+            raise ValueError("column name must be a non-empty string")
+        self.name = name
+        materialized = list(values) if not isinstance(values, np.ndarray) else values
+        if numeric is None:
+            numeric = _infer_numeric(materialized)
+        self.numeric = bool(numeric)
+        if self.numeric:
+            self.values = np.asarray(
+                [_to_float(v) for v in materialized], dtype=np.float64
+            )
+        else:
+            data = np.empty(len(materialized), dtype=object)
+            for i, v in enumerate(materialized):
+                if _is_missing(v):
+                    data[i] = None
+                elif isinstance(v, np.generic):
+                    data[i] = v.item()  # unwrap numpy scalars for clean reprs
+                else:
+                    data[i] = v
+            self.values = data
+
+    # ------------------------------------------------------------------ dunder
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, idx):
+        return self.values[idx]
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        if self.name != other.name or self.numeric != other.numeric:
+            return False
+        if len(self) != len(other):
+            return False
+        if self.numeric:
+            return bool(
+                np.all(
+                    (self.values == other.values)
+                    | (np.isnan(self.values) & np.isnan(other.values))
+                )
+            )
+        return bool(np.all(self.values == other.values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "numeric" if self.numeric else "categorical"
+        return f"Column({self.name!r}, n={len(self)}, {kind})"
+
+    # ------------------------------------------------------------------ helpers
+
+    def take(self, indices) -> "Column":
+        """Return a new column with only the rows at ``indices`` (or bool mask)."""
+        return Column(self.name, self.values[indices], numeric=self.numeric)
+
+    def unique(self) -> list:
+        """Return sorted distinct non-missing values (the active domain)."""
+        if self.numeric:
+            vals = self.values[~np.isnan(self.values)]
+            return sorted(set(float(v) for v in vals))
+        vals = [v for v in self.values if v is not None]
+        try:
+            return sorted(set(vals))
+        except TypeError:  # mixed un-orderable types
+            return sorted(set(vals), key=repr)
+
+    def n_missing(self) -> int:
+        if self.numeric:
+            return int(np.isnan(self.values).sum())
+        return int(sum(1 for v in self.values if v is None))
+
+    def value_counts(self) -> dict:
+        """Return a mapping ``value -> count`` over non-missing values."""
+        counts: dict = {}
+        for v in self.values:
+            if _is_missing(v):
+                continue
+            key = float(v) if self.numeric else v
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def as_float(self) -> np.ndarray:
+        """Return the column as a float array (categoricals are label-encoded)."""
+        if self.numeric:
+            return self.values.astype(np.float64)
+        mapping = {v: i for i, v in enumerate(self.unique())}
+        out = np.full(len(self), np.nan)
+        for i, v in enumerate(self.values):
+            if v is not None:
+                out[i] = mapping[v]
+        return out
+
+    def rename(self, new_name: str) -> "Column":
+        return Column(new_name, self.values, numeric=self.numeric)
+
+
+def _is_missing(value) -> bool:
+    if value is None:
+        return True
+    if isinstance(value, float) and np.isnan(value):
+        return True
+    return False
+
+
+def _to_float(value) -> float:
+    if _is_missing(value):
+        return float("nan")
+    return float(value)
+
+
+def _infer_numeric(values: Sequence) -> bool:
+    """A column is numeric if every non-missing value is an int/float/bool."""
+    saw_value = False
+    for v in values:
+        if _is_missing(v):
+            continue
+        saw_value = True
+        if isinstance(v, bool):
+            continue
+        if not isinstance(v, (int, float, np.integer, np.floating)):
+            return False
+    return saw_value

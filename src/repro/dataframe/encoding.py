@@ -1,0 +1,62 @@
+"""Design-matrix encoding of table attributes for regression-based estimators."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataframe.table import Table
+
+
+def one_hot(table: Table, attribute: str, drop_first: bool = True) -> tuple[np.ndarray, list[str]]:
+    """One-hot encode a categorical attribute.
+
+    Returns the encoded matrix and the generated feature names.  With
+    ``drop_first`` the first category is used as the reference level to avoid
+    perfect collinearity in regressions.
+    """
+    column = table.column(attribute)
+    categories = column.unique()
+    if drop_first and len(categories) > 1:
+        categories = categories[1:]
+    matrix = np.zeros((table.n_rows, len(categories)), dtype=np.float64)
+    index = {c: j for j, c in enumerate(categories)}
+    for i, value in enumerate(column.values):
+        j = index.get(value)
+        if j is not None:
+            matrix[i, j] = 1.0
+    names = [f"{attribute}={c}" for c in categories]
+    return matrix, names
+
+
+def design_matrix(table: Table, attributes: Sequence[str], drop_first: bool = True,
+                  add_intercept: bool = False) -> tuple[np.ndarray, list[str]]:
+    """Build a regression design matrix from a mix of numeric/categorical attributes.
+
+    Numeric attributes are passed through (missing values imputed with the
+    column mean); categorical attributes are one-hot encoded.
+    """
+    blocks: list[np.ndarray] = []
+    names: list[str] = []
+    if add_intercept:
+        blocks.append(np.ones((table.n_rows, 1)))
+        names.append("intercept")
+    for attribute in attributes:
+        column = table.column(attribute)
+        if column.numeric:
+            values = column.values.astype(np.float64).copy()
+            missing = np.isnan(values)
+            if missing.any():
+                fill = values[~missing].mean() if (~missing).any() else 0.0
+                values[missing] = fill
+            blocks.append(values.reshape(-1, 1))
+            names.append(attribute)
+        else:
+            encoded, feature_names = one_hot(table, attribute, drop_first=drop_first)
+            if encoded.shape[1]:
+                blocks.append(encoded)
+                names.extend(feature_names)
+    if not blocks:
+        return np.zeros((table.n_rows, 0)), []
+    return np.hstack(blocks), names

@@ -1,0 +1,73 @@
+"""Functional-dependency detection over table instances.
+
+Grouping patterns (Definition 4.2) may only use attributes ``W`` such that the
+functional dependency ``A_gb -> W`` holds in the database instance.  These
+helpers detect the set of such attributes and perform the grouping/treatment
+attribute partition described in Section 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dataframe.table import Table
+
+
+def fd_holds(table: Table, lhs: Sequence[str], rhs: str) -> bool:
+    """Return True iff the functional dependency ``lhs -> rhs`` holds in ``table``.
+
+    Every combination of ``lhs`` values must map to exactly one ``rhs`` value.
+    Missing values on the right-hand side are treated as a regular value.
+    """
+    if rhs in lhs:
+        return True
+    lhs_columns = [table.column(a).values for a in lhs]
+    rhs_column = table.column(rhs).values
+    seen: dict[tuple, object] = {}
+    for i in range(table.n_rows):
+        key = tuple(col[i] for col in lhs_columns)
+        value = rhs_column[i]
+        if key in seen:
+            if seen[key] != value and not _both_nan(seen[key], value):
+                return False
+        else:
+            seen[key] = value
+    return True
+
+
+def fd_closure(table: Table, group_by: Sequence[str],
+               exclude: Sequence[str] = ()) -> list[str]:
+    """Attributes ``W`` (other than the grouping attributes) with ``A_gb -> W``.
+
+    These are the attributes eligible for grouping patterns.  ``exclude`` can
+    be used to keep the outcome attribute out of consideration.
+    """
+    excluded = set(group_by) | set(exclude)
+    closure = []
+    for attr in table.attributes:
+        if attr in excluded:
+            continue
+        if fd_holds(table, group_by, attr):
+            closure.append(attr)
+    return closure
+
+
+def grouping_attribute_partition(table: Table, group_by: Sequence[str],
+                                 outcome: str) -> tuple[list[str], list[str]]:
+    """Partition attributes into grouping-eligible and treatment-eligible sets.
+
+    Attributes functionally determined by the group-by attributes are eligible
+    for grouping patterns; every other attribute (except the group-by attributes
+    themselves and the outcome) is eligible for treatment patterns (Section 4.1).
+    """
+    grouping = fd_closure(table, group_by, exclude=[outcome])
+    blocked = set(grouping) | set(group_by) | {outcome}
+    treatment = [a for a in table.attributes if a not in blocked]
+    return grouping, treatment
+
+
+def _both_nan(a, b) -> bool:
+    try:
+        return a != a and b != b  # nan != nan
+    except TypeError:
+        return False

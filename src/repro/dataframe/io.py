@@ -1,0 +1,77 @@
+"""CSV import/export for tables."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.dataframe.column import Column
+from repro.dataframe.table import Table
+
+
+def read_csv(path: str | Path, name: str | None = None) -> Table:
+    """Load a table from a CSV file, inferring numeric vs categorical columns.
+
+    Empty cells become missing values.  A column is numeric if every non-empty
+    cell parses as a float.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        raw_columns: list[list[str]] = [[] for _ in header]
+        for row in reader:
+            for i, cell in enumerate(row):
+                raw_columns[i].append(cell)
+    columns = []
+    for attr, cells in zip(header, raw_columns):
+        columns.append(Column(attr, [_parse_cell(c) for c in cells],
+                              numeric=_all_numeric(cells)))
+    return Table(columns, name=name or path.stem)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to CSV (missing values become empty cells)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.attributes)
+        for row in table.iter_rows():
+            writer.writerow(["" if _is_missing(v) else v for v in
+                             (row[a] for a in table.attributes)])
+
+
+def _parse_cell(cell: str):
+    cell = cell.strip()
+    if cell == "":
+        return None
+    try:
+        value = float(cell)
+    except ValueError:
+        return cell
+    if value.is_integer() and "." not in cell and "e" not in cell.lower():
+        return int(value)
+    return value
+
+
+def _all_numeric(cells) -> bool:
+    saw = False
+    for cell in cells:
+        cell = cell.strip()
+        if cell == "":
+            continue
+        saw = True
+        try:
+            float(cell)
+        except ValueError:
+            return False
+    return saw
+
+
+def _is_missing(value) -> bool:
+    if value is None:
+        return True
+    try:
+        return value != value  # nan
+    except TypeError:
+        return False

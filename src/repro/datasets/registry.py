@@ -1,0 +1,93 @@
+"""Common dataset bundle type and name-based registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dataframe import Table
+from repro.graph import CausalDAG
+from repro.sql import GroupByAvgQuery
+
+
+@dataclass
+class DatasetBundle:
+    """A generated dataset together with its causal DAG and default query.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier.
+    table:
+        The generated database instance.
+    dag:
+        The ground-truth causal DAG used by the generator (and handed to
+        CauSumX as background knowledge).
+    query:
+        The representative group-by-average query analysed in the paper.
+    grouping_attributes / treatment_attributes:
+        The attribute partition used in the paper's case study (overrides the
+        automatic FD-based partition when provided).
+    ground_truth:
+        Optional generator-specific ground-truth information (e.g. the true
+        treatment effects of the synthetic dataset).
+    """
+
+    name: str
+    table: Table
+    dag: CausalDAG
+    query: GroupByAvgQuery
+    grouping_attributes: list[str] | None = None
+    treatment_attributes: list[str] | None = None
+    ground_truth: dict = field(default_factory=dict)
+
+    def describe(self) -> dict:
+        """Table 3 style statistics for this dataset.
+
+        The "max values per attribute" statistic is computed over the
+        non-outcome attributes (the outcome is continuous and would dominate).
+        """
+        attrs = [a for a in self.table.attributes if a != self.query.average]
+        stats = {
+            "name": self.name,
+            "tuples": self.table.n_rows,
+            "attributes": self.table.n_cols,
+            "max_values_per_attribute": max(
+                len(self.table.domain(a)) for a in attrs),
+        }
+        return stats
+
+
+_REGISTRY: dict[str, Callable[..., DatasetBundle]] = {}
+
+
+def register(name: str):
+    """Decorator registering a generator under a dataset name."""
+
+    def wrapper(fn: Callable[..., DatasetBundle]):
+        _REGISTRY[name] = fn
+        return fn
+
+    return wrapper
+
+
+def list_datasets() -> list[str]:
+    """Names of all registered dataset generators."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def load_dataset(name: str, **kwargs) -> DatasetBundle:
+    """Generate a dataset by name (``stackoverflow``, ``adult``, ``german``,
+    ``accidents``, ``cps``, or ``synthetic``)."""
+    _ensure_loaded()
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; available: {list_datasets()}")
+    return _REGISTRY[name](**kwargs)
+
+
+def _ensure_loaded() -> None:
+    """Import generator modules so their ``register`` decorators run."""
+    from repro.datasets import (  # noqa: F401  (import for side effect)
+        accidents, adult, cps, german, stackoverflow, synthetic,
+    )

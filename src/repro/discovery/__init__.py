@@ -1,0 +1,16 @@
+"""Causal discovery algorithms used to build candidate causal DAGs (Section 6.6)."""
+
+from repro.discovery.citest import fisher_z_independent, partial_correlation
+from repro.discovery.pc import pc_algorithm
+from repro.discovery.fci import fci_lite
+from repro.discovery.lingam import lingam_lite
+from repro.discovery.nodag import no_dag
+
+__all__ = [
+    "fisher_z_independent",
+    "partial_correlation",
+    "pc_algorithm",
+    "fci_lite",
+    "lingam_lite",
+    "no_dag",
+]

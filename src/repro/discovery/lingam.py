@@ -1,0 +1,93 @@
+"""LiNGAM-lite: causal ordering by non-Gaussianity (DirectLiNGAM-style).
+
+DirectLiNGAM repeatedly extracts the variable most plausibly exogenous
+(judged by the independence between it and the residuals of regressing the
+other variables on it), then regresses it out and recurses.  We reproduce that
+procedure using a kurtosis/skewness-based independence surrogate, then keep an
+edge ``x -> y`` whenever the regression coefficient of ``x`` in ``y``'s
+residual regression exceeds a threshold.  The output DAG is typically sparse,
+as reported in Table 4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataframe import Table
+from repro.graph import CausalDAG
+
+
+def _standardise(matrix: np.ndarray) -> np.ndarray:
+    matrix = matrix - matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    std[std == 0] = 1.0
+    return matrix / std
+
+
+def _mutual_independence_score(x: np.ndarray, residuals: np.ndarray) -> float:
+    """Lower is "more independent" — surrogate for DirectLiNGAM's kernel measure."""
+    if residuals.size == 0:
+        return 0.0
+    score = 0.0
+    for j in range(residuals.shape[1]):
+        r = residuals[:, j]
+        # Higher-order cross moments vanish under independence.
+        score += abs(float(np.mean(x ** 2 * r) - np.mean(x ** 2) * np.mean(r)))
+        score += abs(float(np.mean(x * r ** 2) - np.mean(x) * np.mean(r ** 2)))
+    return score
+
+
+def lingam_lite(table: Table, attributes: Sequence[str] | None = None,
+                edge_threshold: float = 0.15) -> CausalDAG:
+    """Estimate a causal DAG assuming a linear non-Gaussian acyclic model."""
+    attributes = list(attributes or table.attributes)
+    matrix = np.column_stack([table.column(a).as_float() for a in attributes])
+    for j in range(matrix.shape[1]):
+        col = matrix[:, j]
+        missing = np.isnan(col)
+        if missing.any():
+            col[missing] = col[~missing].mean() if (~missing).any() else 0.0
+    matrix = _standardise(matrix)
+
+    remaining = list(range(len(attributes)))
+    order: list[int] = []
+    working = matrix.copy()
+    while len(remaining) > 1:
+        scores = []
+        for idx_pos, i in enumerate(remaining):
+            x = working[:, idx_pos]
+            others = np.delete(working, idx_pos, axis=1)
+            if x.std() == 0:
+                scores.append(float("inf"))
+                continue
+            coefs = (others.T @ x) / (x @ x)
+            residuals = others - np.outer(x, coefs)
+            scores.append(_mutual_independence_score(x, residuals))
+        best_pos = int(np.argmin(scores))
+        best = remaining[best_pos]
+        order.append(best)
+        x = working[:, best_pos]
+        others = np.delete(working, best_pos, axis=1)
+        if x.std() > 0:
+            coefs = (others.T @ x) / (x @ x)
+            others = others - np.outer(x, coefs)
+        working = _standardise(others) if others.shape[1] else others
+        remaining.pop(best_pos)
+    order.extend(remaining)
+
+    dag = CausalDAG([attributes[i] for i in order])
+    # Estimate a lower-triangular coefficient matrix along the causal order and
+    # keep edges whose standardized coefficient is large enough.
+    for pos, child_idx in enumerate(order):
+        if pos == 0:
+            continue
+        parent_indices = order[:pos]
+        design = matrix[:, parent_indices]
+        target = matrix[:, child_idx]
+        coefs, *_ = np.linalg.lstsq(design, target, rcond=None)
+        for parent_pos, parent_idx in enumerate(parent_indices):
+            if abs(float(coefs[parent_pos])) >= edge_threshold:
+                dag.add_edge(attributes[parent_idx], attributes[child_idx])
+    return dag

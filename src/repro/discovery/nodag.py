@@ -1,0 +1,25 @@
+"""The No-DAG baseline of Section 6.6.
+
+Every attribute is linked directly to the outcome and no other edges exist,
+mimicking the approach of assuming all attributes are direct causes (and hence
+mutual confounders are ignored).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dataframe import Table
+from repro.graph import CausalDAG
+
+
+def no_dag(table: Table, outcome: str, attributes: Sequence[str] | None = None) -> CausalDAG:
+    """Build the star-shaped DAG: every attribute -> outcome, nothing else."""
+    attributes = list(attributes or table.attributes)
+    dag = CausalDAG(attributes)
+    if outcome not in attributes:
+        dag.add_node(outcome)
+    for attr in attributes:
+        if attr != outcome:
+            dag.add_edge(attr, outcome)
+    return dag

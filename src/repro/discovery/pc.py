@@ -1,0 +1,102 @@
+"""The PC causal discovery algorithm (Spirtes et al.) on table data.
+
+The implementation follows the classic three phases: skeleton discovery via
+conditional-independence tests with growing conditioning-set sizes, v-structure
+orientation using the recorded separating sets, and Meek-style orientation
+propagation.  Remaining undirected edges are oriented by a deterministic
+tie-break (attribute order) so the output is always a DAG, which is what the
+downstream CATE machinery needs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Sequence
+
+from repro.dataframe import Table
+from repro.discovery.citest import fisher_z_independent
+from repro.graph import CausalDAG
+
+
+def pc_algorithm(table: Table, attributes: Sequence[str] | None = None,
+                 alpha: float = 0.05, max_condition_size: int = 2,
+                 ci_test: Callable | None = None) -> CausalDAG:
+    """Run the PC algorithm and return a fully oriented DAG."""
+    attributes = list(attributes or table.attributes)
+    independent = ci_test or (
+        lambda x, y, given: fisher_z_independent(table, x, y, given, alpha=alpha))
+
+    adjacency: dict[str, set[str]] = {a: set(attributes) - {a} for a in attributes}
+    separating_sets: dict[frozenset, tuple] = {}
+
+    # Phase 1: skeleton.
+    for level in range(max_condition_size + 1):
+        removed_any = False
+        for x in attributes:
+            for y in sorted(adjacency[x]):
+                if x >= y:
+                    continue
+                neighbours = sorted((adjacency[x] | adjacency[y]) - {x, y})
+                if len(neighbours) < level:
+                    continue
+                for conditioning in combinations(neighbours, level):
+                    if independent(x, y, list(conditioning)):
+                        adjacency[x].discard(y)
+                        adjacency[y].discard(x)
+                        separating_sets[frozenset((x, y))] = conditioning
+                        removed_any = True
+                        break
+        if not removed_any and level > 0:
+            break
+
+    # Phase 2: orient v-structures x -> z <- y when z not in sepset(x, y).
+    oriented: set[tuple[str, str]] = set()
+    for z in attributes:
+        neighbours = sorted(adjacency[z])
+        for x, y in combinations(neighbours, 2):
+            if y in adjacency[x]:
+                continue  # x and y adjacent, not a v-structure candidate
+            sepset = separating_sets.get(frozenset((x, y)), ())
+            if z not in sepset:
+                oriented.add((x, z))
+                oriented.add((y, z))
+
+    # Phase 3: Meek rule 1 propagation (avoid new v-structures) plus a
+    # deterministic fallback ordering for whatever remains undirected.
+    undirected = {frozenset((x, y)) for x in attributes for y in adjacency[x] if x < y}
+    undirected = {e for e in undirected
+                  if not ((tuple(sorted(e))[0], tuple(sorted(e))[1]) in oriented
+                          or (tuple(sorted(e))[1], tuple(sorted(e))[0]) in oriented)}
+    changed = True
+    while changed:
+        changed = False
+        for edge in list(undirected):
+            a, b = tuple(sorted(edge))
+            # Meek rule 1: if c -> a and c not adjacent to b, orient a -> b.
+            for c, d in list(oriented):
+                if d == a and c not in adjacency[b] and c != b:
+                    oriented.add((a, b))
+                    undirected.discard(edge)
+                    changed = True
+                    break
+                if d == b and c not in adjacency[a] and c != a:
+                    oriented.add((b, a))
+                    undirected.discard(edge)
+                    changed = True
+                    break
+
+    order = {a: i for i, a in enumerate(attributes)}
+    for edge in undirected:
+        a, b = sorted(edge, key=lambda n: order[n])
+        oriented.add((a, b))
+
+    dag = CausalDAG(attributes)
+    # Conflicting orientations (both directions recorded) resolve to attribute order.
+    for parent, child in sorted(oriented, key=lambda e: (order[e[0]], order[e[1]])):
+        if dag.has_edge(parent, child) or dag.has_edge(child, parent):
+            continue
+        try:
+            dag.add_edge(parent, child)
+        except ValueError:
+            continue  # would create a cycle; skip the conflicting orientation
+    return dag

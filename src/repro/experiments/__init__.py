@@ -1,0 +1,34 @@
+"""Experiment drivers reproducing every table and figure of the evaluation (Section 6)."""
+
+from repro.experiments.variants import run_variants_comparison, VARIANT_BUILDERS
+from repro.experiments.sweeps import sweep_k, sweep_apriori_threshold
+from repro.experiments.accuracy import grouping_precision_recall, treatment_precision_recall
+from repro.experiments.scalability import (
+    runtime_vs_data_size,
+    runtime_vs_attributes,
+    runtime_vs_treatment_patterns,
+)
+from repro.experiments.sampling import cate_vs_sample_size, kendall_vs_sample_size
+from repro.experiments.dags import dag_sensitivity, dag_statistics_table
+from repro.experiments.case_studies import run_case_study
+from repro.experiments.report import build_report, load_results, write_report
+
+__all__ = [
+    "build_report",
+    "load_results",
+    "write_report",
+    "run_variants_comparison",
+    "VARIANT_BUILDERS",
+    "sweep_k",
+    "sweep_apriori_threshold",
+    "grouping_precision_recall",
+    "treatment_precision_recall",
+    "runtime_vs_data_size",
+    "runtime_vs_attributes",
+    "runtime_vs_treatment_patterns",
+    "cate_vs_sample_size",
+    "kendall_vs_sample_size",
+    "dag_sensitivity",
+    "dag_statistics_table",
+    "run_case_study",
+]

@@ -1,0 +1,79 @@
+"""Build a Markdown report from the JSON rows the benchmark harness persists.
+
+Every benchmark writes its result rows to ``benchmarks/results/<name>.json``
+(see ``benchmarks/conftest.py``).  ``build_report`` collects those files into a
+single Markdown document so the measured side of EXPERIMENTS.md can be
+refreshed from the latest run without copying numbers by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+
+def load_results(results_dir: str | Path) -> list[dict]:
+    """Load every ``*.json`` result payload from a benchmark results directory."""
+    results_dir = Path(results_dir)
+    payloads = []
+    if not results_dir.exists():
+        return payloads
+    for path in sorted(results_dir.glob("*.json")):
+        with path.open() as handle:
+            payload = json.load(handle)
+        payload.setdefault("benchmark", path.stem)
+        payloads.append(payload)
+    return payloads
+
+
+def _rows_to_markdown_table(rows: Iterable[dict]) -> list[str]:
+    rows = [row for row in rows if isinstance(row, dict)]
+    if not rows:
+        return ["(no rows recorded)"]
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    lines = ["| " + " | ".join(columns) + " |",
+             "|" + "---|" * len(columns)]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                value = f"{value:.4g}"
+            cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return lines
+
+
+def build_report(results_dir: str | Path, title: str = "Benchmark results") -> str:
+    """Render all persisted benchmark rows as one Markdown document."""
+    payloads = load_results(results_dir)
+    lines = [f"# {title}", ""]
+    if not payloads:
+        lines.append("No benchmark results found — run "
+                     "`pytest benchmarks/ --benchmark-only` first.")
+        return "\n".join(lines)
+    for payload in payloads:
+        lines.append(f"## {payload['benchmark']}")
+        reference = payload.get("paper_reference")
+        if reference:
+            lines.append(f"*Reproduces: {reference}*")
+        expected = payload.get("expected_shape")
+        if expected:
+            lines.append(f"*Expected shape: {expected}*")
+        lines.append("")
+        lines.extend(_rows_to_markdown_table(payload.get("rows", [])))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(results_dir: str | Path, output_path: str | Path,
+                 title: str = "Benchmark results") -> Path:
+    """Write the Markdown report to ``output_path`` and return that path."""
+    output_path = Path(output_path)
+    output_path.write_text(build_report(results_dir, title=title))
+    return output_path

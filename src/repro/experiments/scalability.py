@@ -1,0 +1,83 @@
+"""Figures 11-13: runtime scalability in data size, #attributes, and #treatment patterns."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Sequence
+
+from repro.core import CauSumX, CauSumXConfig
+from repro.datasets import DatasetBundle
+from repro.mining.lattice import PatternLattice
+
+
+def _timed_run(bundle: DatasetBundle, config: CauSumXConfig,
+               treatment_attributes=None) -> float:
+    algorithm = CauSumX(bundle.table, bundle.dag, config)
+    start = time.perf_counter()
+    algorithm.explain(bundle.query,
+                      grouping_attributes=bundle.grouping_attributes,
+                      treatment_attributes=treatment_attributes
+                      if treatment_attributes is not None
+                      else bundle.treatment_attributes)
+    return time.perf_counter() - start
+
+
+def runtime_vs_data_size(bundle: DatasetBundle, sizes: Sequence[int],
+                         config: CauSumXConfig | None = None, seed: int = 0) -> list[dict]:
+    """Figure 11: CauSumX runtime while randomly sampling the dataset to different sizes."""
+    config = config or CauSumXConfig()
+    rows = []
+    for size in sizes:
+        sampled = DatasetBundle(
+            name=bundle.name,
+            table=bundle.table.sample(int(size), seed=seed),
+            dag=bundle.dag,
+            query=bundle.query,
+            grouping_attributes=bundle.grouping_attributes,
+            treatment_attributes=bundle.treatment_attributes,
+        )
+        runtime = _timed_run(sampled, config)
+        rows.append({"dataset": bundle.name, "n_tuples": sampled.table.n_rows,
+                     "runtime": runtime})
+    return rows
+
+
+def runtime_vs_attributes(bundle: DatasetBundle, attribute_counts: Sequence[int],
+                          config: CauSumXConfig | None = None) -> list[dict]:
+    """Figure 12: CauSumX runtime while restricting the number of treatment attributes."""
+    config = config or CauSumXConfig()
+    all_attrs = list(bundle.treatment_attributes or bundle.table.attributes)
+    rows = []
+    for count in attribute_counts:
+        attrs = all_attrs[:int(count)]
+        runtime = _timed_run(bundle, config, treatment_attributes=attrs)
+        rows.append({"dataset": bundle.name, "n_attributes": len(attrs),
+                     "runtime": runtime})
+    return rows
+
+
+def runtime_vs_treatment_patterns(bundle: DatasetBundle, bin_counts: Sequence[int],
+                                  config: CauSumXConfig | None = None) -> list[dict]:
+    """Figure 13: CauSumX runtime while varying the number of candidate treatment patterns.
+
+    The number of atomic treatment predicates is controlled through the number
+    of values/bins considered per attribute, as in the paper (bin counts for
+    ordinal attributes, value subsets for nominal ones).
+    """
+    config = config or CauSumXConfig()
+    rows = []
+    for bins in bin_counts:
+        cfg = config.with_overrides(
+            treatment=replace(config.treatment,
+                              max_values_per_attribute=int(bins),
+                              numeric_bins=max(2, int(bins) // 3)))
+        lattice = PatternLattice(bundle.table,
+                                 list(bundle.treatment_attributes or []),
+                                 max_values_per_attribute=int(bins),
+                                 numeric_bins=max(2, int(bins) // 3))
+        n_patterns = len(lattice.level_one())
+        runtime = _timed_run(bundle, cfg)
+        rows.append({"dataset": bundle.name, "values_per_attribute": int(bins),
+                     "n_atomic_treatments": n_patterns, "runtime": runtime})
+    return rows

@@ -1,0 +1,53 @@
+"""Parameter sweeps: solution size k (Figure 9) and Apriori threshold (Figure 21)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import CauSumX, CauSumXConfig, greedy_last_step
+from repro.datasets import DatasetBundle
+from repro.metrics import summary_quality
+
+
+def sweep_k(bundle: DatasetBundle, k_values: Sequence[int],
+            config: CauSumXConfig | None = None,
+            variants: Sequence[str] = ("CauSumX", "Greedy-Last-Step")) -> list[dict]:
+    """Explainability and coverage of CauSumX vs Greedy-Last-Step while varying k."""
+    base = config or CauSumXConfig()
+    rows = []
+    for k in k_values:
+        for variant in variants:
+            cfg = base.with_overrides(k=int(k))
+            if variant == "Greedy-Last-Step":
+                algorithm = greedy_last_step(bundle.table, bundle.dag, cfg)
+            else:
+                algorithm = CauSumX(bundle.table, bundle.dag, cfg)
+            summary = algorithm.explain(
+                bundle.query,
+                grouping_attributes=bundle.grouping_attributes,
+                treatment_attributes=bundle.treatment_attributes,
+            )
+            row = {"dataset": bundle.name, "variant": variant, "k": int(k),
+                   "theta": cfg.theta}
+            row.update(summary_quality(summary))
+            rows.append(row)
+    return rows
+
+
+def sweep_apriori_threshold(bundle: DatasetBundle, thresholds: Sequence[float],
+                            config: CauSumXConfig | None = None) -> list[dict]:
+    """Explainability and coverage of CauSumX while varying the Apriori threshold tau."""
+    base = config or CauSumXConfig()
+    rows = []
+    for tau in thresholds:
+        cfg = base.with_overrides(apriori_threshold=float(tau))
+        algorithm = CauSumX(bundle.table, bundle.dag, cfg)
+        summary = algorithm.explain(
+            bundle.query,
+            grouping_attributes=bundle.grouping_attributes,
+            treatment_attributes=bundle.treatment_attributes,
+        )
+        row = {"dataset": bundle.name, "apriori_threshold": float(tau)}
+        row.update(summary_quality(summary))
+        rows.append(row)
+    return rows

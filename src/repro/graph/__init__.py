@@ -1,0 +1,15 @@
+"""Causal DAGs (Pearl's graphical causal model) and backdoor adjustment."""
+
+from repro.graph.dag import CausalDAG
+from repro.graph.dseparation import d_separated
+from repro.graph.backdoor import backdoor_adjustment_set, parents_adjustment_set
+from repro.graph.stats import dag_statistics, structural_hamming_distance
+
+__all__ = [
+    "CausalDAG",
+    "d_separated",
+    "backdoor_adjustment_set",
+    "parents_adjustment_set",
+    "dag_statistics",
+    "structural_hamming_distance",
+]

@@ -1,0 +1,84 @@
+"""Backdoor adjustment-set identification for treatment/outcome pairs."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.graph.dag import CausalDAG
+from repro.graph.dseparation import d_separated
+
+
+def parents_adjustment_set(dag: CausalDAG, treatments: Sequence[str] | str,
+                           outcome: str) -> list[str]:
+    """The parents-of-treatment adjustment set.
+
+    Under Pearl's model, the set of parents of the treatment variables is
+    always a valid adjustment set for the effect of the treatments on any
+    outcome they do not precede.  This is the set CauSumX uses by default
+    (it matches the DoWhy default behaviour with a known graph).
+    """
+    if isinstance(treatments, str):
+        treatments = [treatments]
+    adjustment: set[str] = set()
+    for t in treatments:
+        if t in dag:
+            adjustment |= dag.parents(t)
+    adjustment -= set(treatments)
+    adjustment.discard(outcome)
+    return sorted(adjustment)
+
+
+def satisfies_backdoor(dag: CausalDAG, treatments: Sequence[str] | str, outcome: str,
+                       adjustment: Iterable[str]) -> bool:
+    """Check the backdoor criterion for ``adjustment`` relative to (treatments, outcome).
+
+    The set must (i) contain no descendant of any treatment and (ii) block every
+    backdoor path (paths into the treatment) between treatments and outcome.
+    The second condition is checked via d-separation in the graph where outgoing
+    edges of the treatments are removed.
+    """
+    if isinstance(treatments, str):
+        treatments = [treatments]
+    adjustment = set(adjustment)
+    descendants: set[str] = set()
+    for t in treatments:
+        if t in dag:
+            descendants |= dag.descendants(t)
+    if adjustment & descendants:
+        return False
+    backdoor_graph = dag.copy()
+    for t in treatments:
+        if t in backdoor_graph:
+            for child in list(backdoor_graph.children(t)):
+                backdoor_graph.remove_edge(t, child)
+    present = [t for t in treatments if t in dag]
+    if not present or outcome not in dag:
+        return True
+    return d_separated(backdoor_graph, present, outcome, adjustment)
+
+
+def backdoor_adjustment_set(dag: CausalDAG, treatments: Sequence[str] | str,
+                            outcome: str, max_size: int | None = None) -> list[str] | None:
+    """Find a minimal-cardinality valid backdoor adjustment set, or None.
+
+    The search enumerates candidate subsets of the non-descendant observed
+    variables in increasing size, so the returned set is minimum-size.  For the
+    attribute counts in this paper (tens of attributes) this is fast because a
+    valid set is typically found at small sizes; ``max_size`` caps the search.
+    """
+    if isinstance(treatments, str):
+        treatments = [treatments]
+    present = [t for t in treatments if t in dag]
+    if not present or outcome not in dag:
+        return []
+    forbidden = set(present) | {outcome}
+    for t in present:
+        forbidden |= dag.descendants(t)
+    candidates = [n for n in dag.nodes if n not in forbidden]
+    limit = len(candidates) if max_size is None else min(max_size, len(candidates))
+    for size in range(limit + 1):
+        for subset in combinations(candidates, size):
+            if satisfies_backdoor(dag, present, outcome, subset):
+                return sorted(subset)
+    return None

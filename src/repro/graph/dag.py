@@ -1,0 +1,171 @@
+"""Causal DAG over the endogenous attributes of a relation (Section 3)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class CausalDAG:
+    """A directed acyclic graph whose nodes are observed (endogenous) attributes.
+
+    The DAG encodes the background causal knowledge used to identify
+    confounders for CATE estimation.  Exogenous noise variables are implicit
+    (they are unobserved and never referenced by the algorithms).
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), edges: Iterable[tuple[str, str]] = ()):
+        self._nodes: list[str] = []
+        self._parents: dict[str, set[str]] = {}
+        self._children: dict[str, set[str]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for parent, child in edges:
+            self.add_edge(parent, child)
+
+    # ------------------------------------------------------------------ construction
+
+    def add_node(self, node: str) -> None:
+        if node not in self._parents:
+            self._nodes.append(node)
+            self._parents[node] = set()
+            self._children[node] = set()
+
+    def add_edge(self, parent: str, child: str) -> None:
+        """Add the directed edge ``parent -> child``; rejects cycles and self-loops."""
+        if parent == child:
+            raise ValueError(f"self-loop on {parent!r} not allowed")
+        self.add_node(parent)
+        self.add_node(child)
+        if child in self.ancestors(parent):
+            raise ValueError(f"edge {parent!r}->{child!r} would create a cycle")
+        self._parents[child].add(parent)
+        self._children[parent].add(child)
+
+    def remove_edge(self, parent: str, child: str) -> None:
+        self._parents[child].discard(parent)
+        self._children[parent].discard(child)
+
+    def copy(self) -> "CausalDAG":
+        return CausalDAG(self.nodes, self.edges)
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "CausalDAG":
+        """Build a DAG from ``{child: [parents...]}`` or from ``{"nodes":[], "edges":[]}``."""
+        if "nodes" in spec and "edges" in spec:
+            return cls(spec["nodes"], [tuple(e) for e in spec["edges"]])
+        dag = cls()
+        for child, parents in spec.items():
+            dag.add_node(child)
+            for parent in parents:
+                dag.add_edge(parent, child)
+        return dag
+
+    def to_dict(self) -> dict:
+        return {"nodes": list(self.nodes), "edges": [list(e) for e in self.edges]}
+
+    # ------------------------------------------------------------------ accessors
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(self._nodes)
+
+    @property
+    def edges(self) -> tuple[tuple[str, str], ...]:
+        out = []
+        for child in self._nodes:
+            for parent in sorted(self._parents[child]):
+                out.append((parent, child))
+        return tuple(sorted(out))
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(p) for p in self._parents.values())
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._parents
+
+    def has_edge(self, parent: str, child: str) -> bool:
+        return child in self._parents and parent in self._parents[child]
+
+    def parents(self, node: str) -> set[str]:
+        return set(self._parents[node])
+
+    def children(self, node: str) -> set[str]:
+        return set(self._children[node])
+
+    def neighbors(self, node: str) -> set[str]:
+        return self.parents(node) | self.children(node)
+
+    def ancestors(self, node: str) -> set[str]:
+        """All strict ancestors of ``node``."""
+        seen: set[str] = set()
+        stack = list(self._parents.get(node, ()))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._parents[current])
+        return seen
+
+    def descendants(self, node: str) -> set[str]:
+        """All strict descendants of ``node``."""
+        seen: set[str] = set()
+        stack = list(self._children.get(node, ()))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._children[current])
+        return seen
+
+    def topological_order(self) -> list[str]:
+        """Return the nodes in a topological order (parents before children)."""
+        in_degree = {n: len(self._parents[n]) for n in self._nodes}
+        ready = [n for n in self._nodes if in_degree[n] == 0]
+        order: list[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for child in sorted(self._children[node]):
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self._nodes):  # pragma: no cover - defensive
+            raise ValueError("graph contains a cycle")
+        return order
+
+    def is_ancestor(self, maybe_ancestor: str, node: str) -> bool:
+        return maybe_ancestor in self.ancestors(node)
+
+    def has_causal_path(self, source: str, target: str) -> bool:
+        """True if there is a directed path from ``source`` to ``target``."""
+        return target in self.descendants(source)
+
+    def causally_relevant(self, outcome: str) -> set[str]:
+        """Attributes with a directed path into the outcome (ancestors of the outcome).
+
+        Used by the Algorithm 2 attribute-pruning optimisation: attributes with
+        no causal relationship to the outcome cannot affect CATE values.
+        """
+        if outcome not in self:
+            return set()
+        return self.ancestors(outcome)
+
+    def subgraph(self, nodes: Sequence[str]) -> "CausalDAG":
+        keep = set(nodes)
+        edges = [(p, c) for p, c in self.edges if p in keep and c in keep]
+        return CausalDAG([n for n in self._nodes if n in keep], edges)
+
+    def restricted_to(self, attributes: Sequence[str]) -> "CausalDAG":
+        """Alias of :meth:`subgraph` kept for readability at call sites."""
+        return self.subgraph(attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CausalDAG(nodes={len(self._nodes)}, edges={self.n_edges})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CausalDAG):
+            return NotImplemented
+        return set(self.nodes) == set(other.nodes) and set(self.edges) == set(other.edges)

@@ -1,0 +1,59 @@
+"""d-separation test on causal DAGs.
+
+Implemented via the standard "reachable via active trails" algorithm
+(Koller & Friedman, Alg. 3.1): X and Y are d-separated given Z iff no node of
+Y is reachable from X along an active trail.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graph.dag import CausalDAG
+
+
+def d_separated(dag: CausalDAG, x: Iterable[str] | str, y: Iterable[str] | str,
+                given: Iterable[str] = ()) -> bool:
+    """Return True iff every node in ``x`` is d-separated from every node in ``y`` given ``given``."""
+    xs = {x} if isinstance(x, str) else set(x)
+    ys = {y} if isinstance(y, str) else set(y)
+    zs = set(given)
+    if xs & ys:
+        return False
+    reachable = _reachable(dag, xs, zs)
+    return not (reachable & ys)
+
+
+def _reachable(dag: CausalDAG, sources: set[str], observed: set[str]) -> set[str]:
+    """Nodes reachable from ``sources`` along active trails given ``observed``."""
+    # Phase 1: ancestors of observed nodes (needed for collider activation).
+    ancestors_of_observed = set(observed)
+    for z in observed:
+        ancestors_of_observed |= dag.ancestors(z)
+
+    # Phase 2: BFS over (node, direction) states.  direction 'up' means the
+    # trail arrived at the node against an edge (from a child), 'down' means it
+    # arrived along an edge (from a parent).
+    visited: set[tuple[str, str]] = set()
+    reachable: set[str] = set()
+    frontier = [(s, "up") for s in sources]
+    while frontier:
+        node, direction = frontier.pop()
+        if (node, direction) in visited:
+            continue
+        visited.add((node, direction))
+        if node not in observed:
+            reachable.add(node)
+        if direction == "up" and node not in observed:
+            for parent in dag.parents(node):
+                frontier.append((parent, "up"))
+            for child in dag.children(node):
+                frontier.append((child, "down"))
+        elif direction == "down":
+            if node not in observed:
+                for child in dag.children(node):
+                    frontier.append((child, "down"))
+            if node in ancestors_of_observed:
+                for parent in dag.parents(node):
+                    frontier.append((parent, "up"))
+    return reachable - sources

@@ -1,0 +1,39 @@
+"""Graph statistics used in the evaluation (Table 4) and DAG comparison metrics."""
+
+from __future__ import annotations
+
+from repro.graph.dag import CausalDAG
+
+
+def dag_statistics(dag: CausalDAG, name: str = "") -> dict:
+    """Edge count and density statistics as reported in Table 4.
+
+    Density is ``#edges / (n * (n - 1) / 2)`` — the fraction of unordered node
+    pairs connected by an edge.
+    """
+    n = len(dag.nodes)
+    possible = n * (n - 1) / 2
+    return {
+        "name": name,
+        "nodes": n,
+        "edges": dag.n_edges,
+        "density": round(dag.n_edges / possible, 4) if possible else 0.0,
+    }
+
+
+def structural_hamming_distance(dag_a: CausalDAG, dag_b: CausalDAG) -> int:
+    """Number of edge insertions/deletions/reversals separating two DAGs."""
+    edges_a = set(dag_a.edges)
+    edges_b = set(dag_b.edges)
+    skeleton_a = {frozenset(e) for e in edges_a}
+    skeleton_b = {frozenset(e) for e in edges_b}
+    missing = len(skeleton_a - skeleton_b) + len(skeleton_b - skeleton_a)
+    shared = skeleton_a & skeleton_b
+    reversed_count = 0
+    for pair in shared:
+        a, b = tuple(pair)
+        in_a = (a, b) in edges_a
+        in_b = (a, b) in edges_b
+        if in_a != in_b:
+            reversed_count += 1
+    return missing + reversed_count

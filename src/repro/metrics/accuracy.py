@@ -1,0 +1,66 @@
+"""Precision / recall of the mining stages against Brute-Force (Figure 10).
+
+Both metrics compare *tuple sets*: for grouping patterns, the tuples covered by
+the patterns selected by each algorithm; for treatment patterns, the tuples
+assigned to the treated group by each algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.dataframe import Pattern, Table
+
+
+def tuple_set_precision_recall(predicted: Iterable[int], truth: Iterable[int]
+                               ) -> tuple[float, float]:
+    """Precision and recall of a predicted tuple-index set against a ground-truth set."""
+    predicted = set(predicted)
+    truth = set(truth)
+    if not predicted and not truth:
+        return 1.0, 1.0
+    intersection = len(predicted & truth)
+    precision = intersection / len(predicted) if predicted else 0.0
+    recall = intersection / len(truth) if truth else 1.0
+    return precision, recall
+
+
+def _covered_tuples(table: Table, patterns: Sequence[Pattern]) -> set[int]:
+    covered: set[int] = set()
+    for pattern in patterns:
+        covered |= set(np.nonzero(pattern.evaluate(table))[0].tolist())
+    return covered
+
+
+def grouping_accuracy(table: Table, predicted_patterns: Sequence[Pattern],
+                      truth_patterns: Sequence[Pattern]) -> dict:
+    """Precision/recall of tuples covered by mined vs Brute-Force grouping patterns."""
+    precision, recall = tuple_set_precision_recall(
+        _covered_tuples(table, predicted_patterns),
+        _covered_tuples(table, truth_patterns),
+    )
+    return {"precision": precision, "recall": recall}
+
+
+def treatment_accuracy(table: Table, predicted_treatments: Sequence[Pattern],
+                       truth_treatments: Sequence[Pattern]) -> dict:
+    """Average precision/recall of treated-tuple sets across pattern pairs.
+
+    The i-th predicted treatment is compared against the i-th ground-truth
+    treatment (both lists correspond to the same grouping patterns).
+    """
+    if len(predicted_treatments) != len(truth_treatments):
+        raise ValueError("treatment lists must have equal length")
+    if not predicted_treatments:
+        return {"precision": 1.0, "recall": 1.0}
+    precisions, recalls = [], []
+    for predicted, truth in zip(predicted_treatments, truth_treatments):
+        p, r = tuple_set_precision_recall(
+            set(np.nonzero(predicted.evaluate(table))[0].tolist()),
+            set(np.nonzero(truth.evaluate(table))[0].tolist()),
+        )
+        precisions.append(p)
+        recalls.append(r)
+    return {"precision": float(np.mean(precisions)), "recall": float(np.mean(recalls))}

@@ -1,0 +1,114 @@
+"""The Apriori frequent-itemset algorithm over attribute-value pairs.
+
+Items are equality predicates ``attribute = value``.  A pattern (itemset) is
+frequent when the fraction of tuples satisfying all of its predicates is at
+least the support threshold ``tau``.  Frequency is anti-monotone in the number
+of predicates, which is what Apriori exploits (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataframe import Op, Pattern, Predicate, Table
+
+
+@dataclass(frozen=True)
+class FrequentPattern:
+    """A frequent conjunctive equality pattern together with its support."""
+
+    pattern: Pattern
+    support: int
+    support_fraction: float
+
+
+def apriori(table: Table, attributes: Sequence[str], min_support: float = 0.1,
+            max_length: int | None = None, max_values_per_attribute: int | None = None,
+            ) -> list[FrequentPattern]:
+    """Mine frequent conjunctive equality patterns over ``attributes``.
+
+    Parameters
+    ----------
+    table:
+        The database instance.
+    attributes:
+        Attributes whose (attribute, value) pairs form the item universe.
+    min_support:
+        The threshold ``tau`` as a fraction of tuples (0 disables pruning by
+        support but still requires at least one matching tuple).
+    max_length:
+        Optional cap on the number of predicates per pattern.
+    max_values_per_attribute:
+        Optional cap on the number of distinct values considered per attribute
+        (the most frequent values are kept), useful for high-cardinality data.
+    """
+    if not 0.0 <= min_support <= 1.0:
+        raise ValueError("min_support must be in [0, 1]")
+    n_rows = table.n_rows
+    min_count = max(1, int(np.ceil(min_support * n_rows)))
+    max_length = max_length or len(attributes)
+
+    # Level 1: single-predicate patterns and their row masks.
+    level: dict[Pattern, np.ndarray] = {}
+    results: list[FrequentPattern] = []
+    for attribute in attributes:
+        counts = table.value_counts(attribute)
+        values = sorted(counts, key=lambda v: (-counts[v], repr(v)))
+        if max_values_per_attribute is not None:
+            values = values[:max_values_per_attribute]
+        for value in values:
+            if counts[value] < min_count:
+                continue
+            predicate = Predicate(attribute, Op.EQ, value)
+            pattern = Pattern([predicate])
+            mask = predicate.evaluate(table)
+            level[pattern] = mask
+            results.append(FrequentPattern(pattern, int(mask.sum()),
+                                           float(mask.sum()) / n_rows))
+
+    length = 1
+    while level and length < max_length:
+        next_level: dict[Pattern, np.ndarray] = {}
+        frequent_patterns = list(level)
+        frequent_set = set(frequent_patterns)
+        for p1, p2 in combinations(frequent_patterns, 2):
+            candidate = _join(p1, p2)
+            if candidate is None or candidate in next_level:
+                continue
+            if not _all_subsets_frequent(candidate, frequent_set):
+                continue
+            mask = level[p1] & level[p2]
+            count = int(mask.sum())
+            if count >= min_count:
+                next_level[candidate] = mask
+                results.append(FrequentPattern(candidate, count, count / n_rows))
+        level = next_level
+        length += 1
+    return results
+
+
+def _join(p1: Pattern, p2: Pattern) -> Pattern | None:
+    """Apriori join: combine two k-patterns sharing k-1 predicates into a (k+1)-pattern."""
+    preds1, preds2 = set(p1.predicates), set(p2.predicates)
+    union = preds1 | preds2
+    if len(union) != len(preds1) + 1:
+        return None
+    attributes = [p.attribute for p in union]
+    if len(set(attributes)) != len(attributes):
+        return None  # two different values for the same attribute
+    return Pattern(union)
+
+
+def _all_subsets_frequent(candidate: Pattern, frequent: set[Pattern]) -> bool:
+    predicates = candidate.predicates
+    if len(predicates) <= 1:
+        return True
+    for i in range(len(predicates)):
+        subset = Pattern(predicates[:i] + predicates[i + 1:])
+        if subset not in frequent:
+            return False
+    return True

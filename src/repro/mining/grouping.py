@@ -1,0 +1,94 @@
+"""Grouping-pattern mining and redundancy removal (Section 5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.dataframe import Pattern
+from repro.mining.apriori import apriori
+from repro.sql import AggregateView
+
+
+@dataclass
+class GroupingPattern:
+    """A grouping pattern together with the set of view groups it covers."""
+
+    pattern: Pattern
+    covered_groups: frozenset
+    support: int = 0
+
+    @property
+    def coverage(self) -> int:
+        return len(self.covered_groups)
+
+    def __repr__(self) -> str:
+        return f"GroupingPattern({self.pattern!r}, covers={self.coverage})"
+
+
+def mine_grouping_patterns(view: AggregateView, grouping_attributes: Sequence[str],
+                           min_support: float = 0.1, max_length: int | None = 3,
+                           include_singleton_groups: bool = False,
+                           max_values_per_attribute: int | None = None,
+                           ) -> list[GroupingPattern]:
+    """Mine candidate grouping patterns with Apriori and remove redundant ones.
+
+    Parameters
+    ----------
+    view:
+        The materialised aggregate view ``Q(D)``.
+    grouping_attributes:
+        Attributes ``W`` with ``A_gb -> W`` (eligible for grouping patterns).
+    min_support:
+        Apriori threshold ``tau`` (fraction of tuples of ``D``).
+    max_length:
+        Maximum number of predicates per grouping pattern.
+    include_singleton_groups:
+        When True, additionally add one equality pattern per group-by value so
+        that every individual group can be explained even without FDs (used for
+        datasets such as German where no FD-derived attributes exist).
+
+    Post-processing keeps, for each distinct set of covered groups, only the
+    shortest pattern (ties broken lexicographically), which enforces the
+    incomparability constraint of Definition 4.5 item (3).
+    """
+    table = view.table
+    candidates: list[GroupingPattern] = []
+    if grouping_attributes:
+        for frequent in apriori(table, list(grouping_attributes), min_support,
+                                max_length=max_length,
+                                max_values_per_attribute=max_values_per_attribute):
+            covered = view.covered_groups(frequent.pattern)
+            if covered:
+                candidates.append(GroupingPattern(frequent.pattern, covered,
+                                                  frequent.support))
+    if include_singleton_groups or not candidates:
+        candidates.extend(_singleton_group_patterns(view))
+    return deduplicate_grouping_patterns(candidates)
+
+
+def _singleton_group_patterns(view: AggregateView) -> list[GroupingPattern]:
+    """One equality pattern per group over the group-by attributes themselves."""
+    patterns = []
+    for group in view.groups:
+        assignment = dict(zip(view.query.group_by, group.key))
+        pattern = Pattern.equalities(assignment)
+        patterns.append(GroupingPattern(pattern, frozenset([group.key]),
+                                        support=group.size))
+    return patterns
+
+
+def deduplicate_grouping_patterns(candidates: Sequence[GroupingPattern]
+                                  ) -> list[GroupingPattern]:
+    """Keep only the shortest pattern per distinct covered-group set."""
+    best: dict[frozenset, GroupingPattern] = {}
+    for candidate in candidates:
+        key = candidate.covered_groups
+        current = best.get(key)
+        if current is None or _pattern_sort_key(candidate) < _pattern_sort_key(current):
+            best[key] = candidate
+    return sorted(best.values(), key=lambda g: (-g.coverage, repr(g.pattern)))
+
+
+def _pattern_sort_key(grouping: GroupingPattern) -> tuple:
+    return (len(grouping.pattern), repr(grouping.pattern))

@@ -1,0 +1,106 @@
+"""The treatment-pattern lattice traversed by Algorithm 2.
+
+Nodes are conjunctive patterns over the treatment attributes; there is an edge
+from ``P1`` to ``P2`` when ``P2`` extends ``P1`` by exactly one predicate.  The
+lattice is generated level by level and only the nodes whose parents all
+survived the previous level are materialised.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.dataframe import Op, Pattern, Predicate, Table
+
+
+class PatternLattice:
+    """Level-wise generator of candidate treatment patterns."""
+
+    def __init__(self, table: Table, attributes: Sequence[str],
+                 max_values_per_attribute: int = 20, numeric_bins: int = 3):
+        self.table = table
+        self.attributes = list(attributes)
+        self.max_values_per_attribute = max_values_per_attribute
+        self.numeric_bins = numeric_bins
+
+    # ------------------------------------------------------------------ level 1
+
+    def atomic_predicates(self) -> list[Predicate]:
+        """All single predicates ``A_i op a_j`` over the treatment attributes.
+
+        Categorical attributes produce equality predicates over their most
+        frequent values.  Numeric attributes with many distinct values produce
+        threshold predicates (``<=`` / ``>``) at quantile cut points, mirroring
+        the binned treatments used in the paper's experiments.
+        """
+        predicates: list[Predicate] = []
+        for attribute in self.attributes:
+            column = self.table.column(attribute)
+            domain = column.unique()
+            if not domain:
+                continue
+            if column.numeric and len(domain) > self.max_values_per_attribute:
+                predicates.extend(self._numeric_predicates(attribute))
+            else:
+                counts = self.table.value_counts(attribute)
+                values = sorted(domain, key=lambda v: (-counts.get(v, 0), repr(v)))
+                values = values[:self.max_values_per_attribute]
+                predicates.extend(Predicate(attribute, Op.EQ, v) for v in values)
+        return predicates
+
+    def _numeric_predicates(self, attribute: str) -> list[Predicate]:
+        values = self.table.column(attribute).values.astype(np.float64)
+        values = values[~np.isnan(values)]
+        if values.size == 0:
+            return []
+        quantiles = np.linspace(0, 1, self.numeric_bins + 1)[1:-1]
+        cuts = sorted({round(float(np.quantile(values, q)), 6) for q in quantiles})
+        predicates = []
+        for cut in cuts:
+            predicates.append(Predicate(attribute, Op.LE, cut))
+            predicates.append(Predicate(attribute, Op.GT, cut))
+        return predicates
+
+    def level_one(self) -> list[Pattern]:
+        return [Pattern([p]) for p in self.atomic_predicates()]
+
+    # ------------------------------------------------------------------ deeper levels
+
+    @staticmethod
+    def next_level(survivors: Iterable[Pattern]) -> list[Pattern]:
+        """Generate all patterns one predicate longer whose parents all survived.
+
+        ``survivors`` is the set of patterns of the current level that passed
+        the CATE sign filter; a candidate of the next level is materialised only
+        if *every* sub-pattern obtained by removing one predicate is a survivor
+        (the paper's "all parents have a positive CATE" condition).
+        """
+        survivors = list(survivors)
+        if not survivors:
+            return []
+        survivor_set = set(survivors)
+        length = len(survivors[0].predicates)
+        candidates: set[Pattern] = set()
+        for p1, p2 in combinations(survivors, 2):
+            union = set(p1.predicates) | set(p2.predicates)
+            if len(union) != length + 1:
+                continue
+            attributes = [p.attribute for p in union]
+            if len(set(attributes)) != len(attributes):
+                continue  # conflicting predicates on the same attribute
+            candidate = Pattern(union)
+            if candidate in candidates:
+                continue
+            if all(Pattern(candidate.predicates[:i] + candidate.predicates[i + 1:])
+                   in survivor_set for i in range(len(candidate.predicates))):
+                candidates.add(candidate)
+        return sorted(candidates, key=repr)
+
+    @staticmethod
+    def parents(pattern: Pattern) -> list[Pattern]:
+        """Immediate parents of a pattern in the lattice."""
+        preds = pattern.predicates
+        return [Pattern(preds[:i] + preds[i + 1:]) for i in range(len(preds))]

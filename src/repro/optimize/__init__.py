@@ -1,0 +1,17 @@
+"""Combinatorial optimisation: the ILP of Figure 5, its LP relaxation, rounding, and greedy."""
+
+from repro.optimize.ilp import CoverageILP, Selection
+from repro.optimize.lp import solve_lp_relaxation, LPSolution
+from repro.optimize.rounding import randomized_rounding
+from repro.optimize.exact import solve_exact
+from repro.optimize.greedy import greedy_selection
+
+__all__ = [
+    "CoverageILP",
+    "Selection",
+    "solve_lp_relaxation",
+    "LPSolution",
+    "randomized_rounding",
+    "solve_exact",
+    "greedy_selection",
+]

@@ -1,0 +1,85 @@
+"""Exact solver for the coverage ILP (used by the Brute-Force baseline).
+
+For the candidate-set sizes produced by the mining stages (tens of patterns) a
+branch-and-bound over pattern subsets is fast; an optional exhaustive
+enumeration is also provided for testing the optimiser itself.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.optimize.ilp import CoverageILP, Selection
+
+
+def solve_exact(problem: CoverageILP, method: str = "branch_and_bound") -> Selection | None:
+    """Return an optimal feasible selection, or ``None`` when none exists."""
+    if method == "enumerate":
+        return _enumerate(problem)
+    if method == "branch_and_bound":
+        return _branch_and_bound(problem)
+    raise ValueError(f"unknown exact method {method!r}")
+
+
+def _enumerate(problem: CoverageILP) -> Selection | None:
+    best: Selection | None = None
+    indices = range(problem.n_patterns)
+    for size in range(0, problem.k + 1):
+        for subset in combinations(indices, size):
+            selection = problem.selection(subset)
+            if not selection.feasible:
+                continue
+            if best is None or selection.objective > best.objective:
+                best = selection
+    return best
+
+
+def _branch_and_bound(problem: CoverageILP) -> Selection | None:
+    # Order candidates by decreasing weight so the greedy upper bound is tight.
+    order = sorted(range(problem.n_patterns), key=lambda j: -problem.weights[j])
+    weights = [problem.weights[j] for j in order]
+    suffix_best: list[list[float]] = _suffix_top_weights(weights, problem.k)
+
+    best: dict = {"selection": None, "objective": float("-inf")}
+
+    def bound(position: int, current_objective: float, slots_left: int) -> float:
+        return current_objective + sum(suffix_best[position][:slots_left])
+
+    def recurse(position: int, chosen: list[int], covered: set, objective: float) -> None:
+        slots_left = problem.k - len(chosen)
+        if len(covered) >= problem.required_groups and \
+                objective > best["objective"]:
+            selection = problem.selection(tuple(order[j] for j in chosen))
+            if selection.feasible:
+                best["selection"] = selection
+                best["objective"] = selection.objective
+        if position >= len(order) or slots_left == 0:
+            return
+        if bound(position, objective, slots_left) <= best["objective"]:
+            return
+        remaining_coverage = set()
+        for j in range(position, len(order)):
+            remaining_coverage |= problem.coverage[order[j]]
+        if len(covered | remaining_coverage) < problem.required_groups:
+            return
+        # Branch 1: take the pattern at `position` (if its coverage set is new).
+        candidate = order[position]
+        coverage = problem.coverage[candidate]
+        taken_coverages = {problem.coverage[order[j]] for j in chosen}
+        if coverage not in taken_coverages:
+            recurse(position + 1, chosen + [position],
+                    covered | coverage, objective + problem.weights[candidate])
+        # Branch 2: skip it.
+        recurse(position + 1, chosen, covered, objective)
+
+    recurse(0, [], set(), 0.0)
+    return best["selection"]
+
+
+def _suffix_top_weights(weights: list[float], k: int) -> list[list[float]]:
+    """``suffix_best[i]`` = the k largest weights among ``weights[i:]``, descending."""
+    suffix: list[list[float]] = [[] for _ in range(len(weights) + 1)]
+    for i in range(len(weights) - 1, -1, -1):
+        merged = sorted(suffix[i + 1] + [max(weights[i], 0.0)], reverse=True)
+        suffix[i] = merged[:k]
+    return suffix

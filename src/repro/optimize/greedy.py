@@ -1,0 +1,46 @@
+"""Greedy final-step selection used by the Greedy-Last-Step variant (Section 6).
+
+The strategy iteratively selects the explanation pattern with the best
+combination of explainability and marginal coverage gain, without any guarantee
+of satisfying the coverage constraint.
+"""
+
+from __future__ import annotations
+
+from repro.optimize.ilp import CoverageILP, Selection
+
+
+def greedy_selection(problem: CoverageILP, coverage_weight: float = 1.0) -> Selection:
+    """Greedy weighted max-cover selection of at most ``k`` patterns.
+
+    Each step picks the unused pattern maximising
+    ``weight + coverage_weight * marginal_coverage`` (after normalising both
+    terms to comparable scales), skipping patterns whose covered-group set was
+    already selected (incomparability constraint).
+    """
+    chosen: list[int] = []
+    covered: set = set()
+    taken_coverages: set[frozenset] = set()
+    max_weight = max([abs(w) for w in problem.weights], default=1.0) or 1.0
+    m = max(problem.m, 1)
+
+    while len(chosen) < problem.k:
+        best_j = None
+        best_score = float("-inf")
+        for j in range(problem.n_patterns):
+            if j in chosen:
+                continue
+            coverage = problem.coverage[j]
+            if coverage in taken_coverages:
+                continue
+            marginal = len(coverage - covered)
+            score = problem.weights[j] / max_weight + coverage_weight * marginal / m
+            if score > best_score:
+                best_score = score
+                best_j = j
+        if best_j is None:
+            break
+        chosen.append(best_j)
+        covered |= problem.coverage[best_j]
+        taken_coverages.add(problem.coverage[best_j])
+    return problem.selection(chosen)

@@ -1,0 +1,54 @@
+"""LP relaxation of the coverage ILP, solved with scipy's HiGHS backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.optimize.ilp import CoverageILP
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Fractional solution of the LP relaxation."""
+
+    pattern_values: np.ndarray  # g_j in [0, 1]
+    group_values: np.ndarray    # t_i in [0, 1]
+    objective: float
+    feasible: bool
+
+
+def solve_lp_relaxation(problem: CoverageILP) -> LPSolution:
+    """Solve the LP relaxation of Figure 5.
+
+    Infeasibility of the relaxation proves infeasibility of the ILP
+    (Proposition A.1 case 1).
+    """
+    if problem.n_patterns == 0:
+        feasible = problem.required_groups == 0
+        return LPSolution(np.zeros(0), np.zeros(problem.m), 0.0, feasible)
+    arrays = problem.lp_arrays()
+    result = linprog(
+        c=arrays["c"],
+        A_ub=arrays["A_ub"],
+        b_ub=arrays["b_ub"],
+        bounds=arrays["bounds"],
+        method="highs",
+    )
+    if not result.success:
+        return LPSolution(
+            pattern_values=np.zeros(problem.n_patterns),
+            group_values=np.zeros(problem.m),
+            objective=0.0,
+            feasible=False,
+        )
+    l = arrays["n_patterns"]
+    values = np.clip(result.x, 0.0, 1.0)
+    return LPSolution(
+        pattern_values=values[:l],
+        group_values=values[l:],
+        objective=float(-result.fun),
+        feasible=True,
+    )

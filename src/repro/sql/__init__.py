@@ -1,0 +1,6 @@
+"""Group-by-average query layer (the class of queries CauSumX explains)."""
+
+from repro.sql.query import GroupByAvgQuery, parse_query
+from repro.sql.view import AggregateView, GroupResult
+
+__all__ = ["GroupByAvgQuery", "parse_query", "AggregateView", "GroupResult"]

@@ -1,0 +1,128 @@
+"""The group-by-average query class of Section 4.
+
+``Q = SELECT A_gb, AVG(A_avg) FROM D WHERE phi GROUP BY A_gb``
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.dataframe import Pattern, Predicate, Table
+
+
+@dataclass(frozen=True)
+class GroupByAvgQuery:
+    """A SQL query with group-by and average aggregate.
+
+    Attributes
+    ----------
+    group_by:
+        The categorical grouping attributes ``A_gb``.
+    average:
+        The numeric attribute aggregated with ``AVG`` (the causal outcome).
+    where:
+        Optional conjunctive selection predicate ``phi`` applied before grouping.
+    table_name:
+        Name of the relation the query ranges over (informational only).
+    """
+
+    group_by: tuple[str, ...]
+    average: str
+    where: Pattern = field(default_factory=Pattern)
+    table_name: str = "D"
+
+    def __init__(self, group_by: Sequence[str] | str, average: str,
+                 where: Pattern | None = None, table_name: str = "D"):
+        if isinstance(group_by, str):
+            group_by = (group_by,)
+        object.__setattr__(self, "group_by", tuple(group_by))
+        object.__setattr__(self, "average", average)
+        object.__setattr__(self, "where", where or Pattern())
+        object.__setattr__(self, "table_name", table_name)
+        if not self.group_by:
+            raise ValueError("a group-by-average query needs at least one grouping attribute")
+        if self.average in self.group_by:
+            raise ValueError("the AVG attribute cannot also be a grouping attribute")
+
+    def validate(self, table: Table) -> None:
+        """Raise if the query references attributes missing from ``table``."""
+        for attr in (*self.group_by, self.average):
+            if attr not in table:
+                raise KeyError(f"query references unknown attribute {attr!r}")
+        if not table.is_numeric(self.average):
+            raise TypeError(f"AVG attribute {self.average!r} must be numeric")
+        for predicate in self.where:
+            if predicate.attribute not in table:
+                raise KeyError(
+                    f"WHERE references unknown attribute {predicate.attribute!r}")
+
+    def to_sql(self) -> str:
+        """Render the query back to SQL text."""
+        gb = ", ".join(self.group_by)
+        sql = f"SELECT {gb}, AVG({self.average}) FROM {self.table_name}"
+        if len(self.where):
+            conditions = " AND ".join(
+                f"{p.attribute} {p.op.value.replace('==', '=')} {_sql_literal(p.value)}"
+                for p in self.where)
+            sql += f" WHERE {conditions}"
+        return sql + f" GROUP BY {gb}"
+
+
+_QUERY_RE = re.compile(
+    r"^\s*SELECT\s+(?P<select>.+?)\s+FROM\s+(?P<table>\w+)"
+    r"(?:\s+WHERE\s+(?P<where>.+?))?"
+    r"\s+GROUP\s+BY\s+(?P<groupby>.+?)\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_AVG_RE = re.compile(r"AVG\s*\(\s*(?P<attr>\w+)\s*\)", re.IGNORECASE)
+_CONDITION_RE = re.compile(
+    r"^\s*(?P<attr>\w+)\s*(?P<op><=|>=|!=|<>|=|<|>)\s*(?P<value>.+?)\s*$")
+
+
+def parse_query(sql: str) -> GroupByAvgQuery:
+    """Parse SQL text of the form ``SELECT g, AVG(a) FROM t [WHERE ...] GROUP BY g``.
+
+    Only the group-by-average fragment of Section 4 is supported; anything else
+    raises ``ValueError``.
+    """
+    match = _QUERY_RE.match(sql)
+    if not match:
+        raise ValueError(f"cannot parse group-by-average query: {sql!r}")
+    select_clause = match.group("select")
+    avg_match = _AVG_RE.search(select_clause)
+    if not avg_match:
+        raise ValueError("query must contain an AVG(attribute) aggregate")
+    average = avg_match.group("attr")
+    group_by = [a.strip() for a in match.group("groupby").split(",") if a.strip()]
+    where = Pattern()
+    if match.group("where"):
+        predicates = []
+        for raw in re.split(r"\s+AND\s+", match.group("where"), flags=re.IGNORECASE):
+            cond = _CONDITION_RE.match(raw)
+            if not cond:
+                raise ValueError(f"cannot parse WHERE condition {raw!r}")
+            predicates.append(Predicate(cond.group("attr"), cond.group("op"),
+                                        _parse_literal(cond.group("value"))))
+        where = Pattern(predicates)
+    return GroupByAvgQuery(group_by=group_by, average=average, where=where,
+                           table_name=match.group("table"))
+
+
+def _parse_literal(text: str):
+    text = text.strip()
+    if (text.startswith("'") and text.endswith("'")) or \
+            (text.startswith('"') and text.endswith('"')):
+        return text[1:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        return text
+    return int(value) if value.is_integer() and "." not in text else value
+
+
+def _sql_literal(value) -> str:
+    if isinstance(value, str):
+        return f"'{value}'"
+    return str(value)

@@ -1,0 +1,107 @@
+"""Materialised aggregate views ``Q(D)`` and group-level bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.dataframe import Pattern, Table
+from repro.sql.query import GroupByAvgQuery
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    """One answer tuple of the aggregate view: a group, its average, and its size."""
+
+    key: tuple
+    average: float
+    size: int
+
+    def label(self) -> str:
+        return "/".join(str(k) for k in self.key)
+
+
+class AggregateView:
+    """The result ``Q(D)`` of evaluating a group-by-average query over a table.
+
+    Besides the answer tuples, the view keeps the row indices contributing to
+    each group, which the grouping-pattern coverage logic needs.
+    """
+
+    def __init__(self, table: Table, query: GroupByAvgQuery):
+        query.validate(table)
+        self.query = query
+        self.base_table = table
+        self.table = table if query.where.is_empty() else table.select(query.where)
+        self._group_rows = self.table.group_indices(list(query.group_by))
+        results = self.table.groupby_avg(list(query.group_by), query.average)
+        self.groups: list[GroupResult] = [
+            GroupResult(key=key, average=avg, size=size) for key, avg, size in results
+        ]
+        self._group_index = {g.key: i for i, g in enumerate(self.groups)}
+
+    # ------------------------------------------------------------------ accessors
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    @property
+    def m(self) -> int:
+        """Number of groups in the view (``m = |Q(D)|``)."""
+        return len(self.groups)
+
+    def group_keys(self) -> list[tuple]:
+        return [g.key for g in self.groups]
+
+    def group(self, key: tuple) -> GroupResult:
+        return self.groups[self._group_index[key]]
+
+    def rows_of_group(self, key: tuple) -> np.ndarray:
+        """Row indices (into the filtered table) contributing to a group."""
+        return self._group_rows[key]
+
+    def group_table(self, key: tuple) -> Table:
+        """The sub-table of tuples contributing to one group."""
+        return self.table.take(self.rows_of_group(key))
+
+    # ------------------------------------------------------------------ coverage
+
+    def covered_groups(self, grouping_pattern: Pattern) -> frozenset:
+        """Groups covered by a grouping pattern (Definition 4.4).
+
+        A group is covered when every tuple contributing to it satisfies the
+        pattern.  Because grouping-pattern attributes are functionally
+        determined by the group-by attributes, checking a single representative
+        tuple per group is sufficient; we nevertheless verify all tuples to stay
+        faithful to the definition (and robust to FD violations in dirty data).
+        """
+        if grouping_pattern.is_empty():
+            return frozenset(self.group_keys())
+        mask = grouping_pattern.evaluate(self.table)
+        covered = []
+        for key, rows in self._group_rows.items():
+            if bool(mask[rows].all()):
+                covered.append(key)
+        return frozenset(covered)
+
+    def coverage_fraction(self, covered: Iterable[tuple]) -> float:
+        """Fraction of view groups contained in ``covered``."""
+        covered = set(covered)
+        return len(covered & set(self.group_keys())) / self.m if self.m else 0.0
+
+    # ------------------------------------------------------------------ rendering
+
+    def as_rows(self) -> list[dict]:
+        """The view as a list of dictionaries (useful for printing/plotting)."""
+        rows = []
+        for g in self.groups:
+            row = {attr: value for attr, value in zip(self.query.group_by, g.key)}
+            row[f"avg_{self.query.average}"] = g.average
+            row["count"] = g.size
+            rows.append(row)
+        return rows

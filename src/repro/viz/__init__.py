@@ -1,0 +1,5 @@
+"""Terminal-friendly visualisations of aggregate views and explanation summaries."""
+
+from repro.viz.barchart import view_barchart, annotated_view_barchart
+
+__all__ = ["view_barchart", "annotated_view_barchart"]

@@ -1,0 +1,63 @@
+"""ASCII bar charts of aggregate views (the Figure 1 visual, in the terminal).
+
+The annotated variant maps each group to the explanation patterns covering it
+using a per-pattern marker character — the textual analogue of the colours and
+textures used in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.core.patterns import ExplanationSummary
+from repro.sql import AggregateView
+
+MARKERS = "*#/+-=~^%@"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    if maximum <= 0:
+        return ""
+    length = int(round(width * max(value, 0.0) / maximum))
+    return "█" * length
+
+
+def view_barchart(view: AggregateView, width: int = 40) -> str:
+    """Render the aggregate view as a horizontal ASCII bar chart."""
+    if view.m == 0:
+        return "(empty view)"
+    maximum = max(group.average for group in view)
+    label_width = max(len(group.label()) for group in view)
+    lines = []
+    for group in sorted(view.groups, key=lambda g: -g.average):
+        bar = _bar(group.average, maximum, width)
+        lines.append(f"{group.label():<{label_width}} | {bar} {group.average:,.4g}")
+    return "\n".join(lines)
+
+
+def annotated_view_barchart(view: AggregateView, summary: ExplanationSummary,
+                            width: int = 40) -> str:
+    """Bar chart with one marker per explanation pattern covering each group.
+
+    A legend mapping markers to grouping patterns is appended; groups covered
+    by no pattern are marked with ``·`` (the paper's uncovered bars).
+    """
+    if view.m == 0:
+        return "(empty view)"
+    assignment = summary.group_assignment()
+    maximum = max(group.average for group in view)
+    label_width = max(len(group.label()) for group in view)
+    pattern_markers = {i: MARKERS[i % len(MARKERS)]
+                       for i in range(len(summary.patterns))}
+    lines = []
+    for group in sorted(view.groups, key=lambda g: -g.average):
+        indices = assignment.get(group.key, [])
+        markers = "".join(pattern_markers[i] for i in indices) or "·"
+        bar = _bar(group.average, maximum, width)
+        lines.append(f"{group.label():<{label_width}} [{markers:<3}] | "
+                     f"{bar} {group.average:,.4g}")
+    lines.append("")
+    lines.append("legend:")
+    for i, pattern in enumerate(summary.patterns):
+        lines.append(f"  {pattern_markers[i]}  {pattern.grouping_pattern!r}")
+    if any(not assignment.get(group.key) for group in view):
+        lines.append("  ·  not covered by the summary")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Shared fixtures for the test suite.
+
+The fixtures keep dataset sizes deliberately small so the whole suite runs in
+well under a minute; the benchmarks exercise realistic sizes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:  # allow running the tests without installation
+    sys.path.insert(0, str(SRC))
+
+from repro.core import CauSumXConfig  # noqa: E402
+from repro.dataframe import Column, Pattern, Table  # noqa: E402
+from repro.graph import CausalDAG  # noqa: E402
+from repro.mining.treatments import TreatmentMinerConfig  # noqa: E402
+from repro.sql import AggregateView, GroupByAvgQuery  # noqa: E402
+
+
+@pytest.fixture
+def simple_table() -> Table:
+    """A tiny mixed-type table mirroring the paper's Table 1 shape."""
+    return Table.from_rows([
+        {"Country": "US", "Continent": "N. America", "Gender": "Male",
+         "Age": 26, "Role": "Data Scientist", "Education": "PhD", "Salary": 180.0},
+        {"Country": "US", "Continent": "N. America", "Gender": "Non-binary",
+         "Age": 32, "Role": "QA developer", "Education": "B.Sc.", "Salary": 83.0},
+        {"Country": "India", "Continent": "Asia", "Gender": "Male",
+         "Age": 29, "Role": "C-suite executive", "Education": "B.Sc.", "Salary": 24.0},
+        {"Country": "India", "Continent": "Asia", "Gender": "Female",
+         "Age": 25, "Role": "Back-end developer", "Education": "M.S.", "Salary": 7.5},
+        {"Country": "China", "Continent": "Asia", "Gender": "Male",
+         "Age": 21, "Role": "Back-end developer", "Education": "B.Sc.", "Salary": 19.0},
+        {"Country": "China", "Continent": "Asia", "Gender": "Female",
+         "Age": 41, "Role": "Data Scientist", "Education": "PhD", "Salary": 42.0},
+    ], name="so_sample")
+
+
+@pytest.fixture
+def confounded_table() -> Table:
+    """A 2000-row table with a known confounded treatment effect (true ATE = 5)."""
+    rng = np.random.default_rng(0)
+    n = 2000
+    z = rng.integers(0, 3, n)
+    t = (rng.random(n) < 0.2 + 0.25 * z).astype(int)
+    y = 5.0 * t + 2.0 * z + rng.normal(0, 1, n)
+    group = np.where(np.arange(n) % 2 == 0, "even", "odd")
+    return Table([
+        Column("Z", [int(v) for v in z], numeric=False),
+        Column("T", [int(v) for v in t], numeric=False),
+        Column("G", group, numeric=False),
+        Column("Y", [float(v) for v in y], numeric=True),
+    ], name="confounded")
+
+
+@pytest.fixture
+def confounded_dag() -> CausalDAG:
+    return CausalDAG.from_dict({"T": ["Z"], "Y": ["T", "Z"], "G": []})
+
+
+@pytest.fixture
+def chain_dag() -> CausalDAG:
+    """A -> B -> C with a confounder U -> A, U -> C."""
+    return CausalDAG.from_dict({"B": ["A"], "C": ["B", "U"], "A": ["U"], "U": []})
+
+
+@pytest.fixture
+def small_view(simple_table) -> AggregateView:
+    query = GroupByAvgQuery(group_by="Country", average="Salary")
+    return AggregateView(simple_table, query)
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> CauSumXConfig:
+    """Configuration tuned for small fixtures: shallow lattice, tiny group sizes."""
+    return CauSumXConfig(
+        k=3, theta=0.75, apriori_threshold=0.05, sample_size=None,
+        min_group_size=5,
+        treatment=TreatmentMinerConfig(max_levels=2, min_group_size=5,
+                                       significance_level=1.0,
+                                       max_values_per_attribute=8),
+    )
+
+
+@pytest.fixture(scope="session")
+def so_bundle():
+    """A small Stack-Overflow-like dataset shared across integration tests."""
+    from repro.datasets import make_stackoverflow
+
+    return make_stackoverflow(n=800, seed=7)
+
+
+@pytest.fixture(scope="session")
+def synthetic_bundle():
+    from repro.datasets import make_synthetic
+
+    return make_synthetic(n=400, n_grouping=2, n_treatment=3, seed=3)
+
+
+@pytest.fixture
+def coverage_problem():
+    """A small max-cover instance with a known optimum."""
+    from repro.optimize import CoverageILP
+
+    groups = ["g1", "g2", "g3", "g4", "g5"]
+    coverage = [
+        frozenset(["g1", "g2"]),
+        frozenset(["g3", "g4"]),
+        frozenset(["g5"]),
+        frozenset(["g1", "g2", "g3"]),
+        frozenset(["g4", "g5"]),
+    ]
+    weights = [10.0, 8.0, 3.0, 6.0, 5.0]
+    return CoverageILP(weights, coverage, groups, k=2, theta=0.8)

@@ -1,0 +1,78 @@
+"""Unit tests for the Apriori frequent-pattern miner."""
+
+import pytest
+
+from repro.dataframe import Pattern, Table
+from repro.mining import apriori
+
+
+@pytest.fixture
+def transactions():
+    return Table.from_columns({
+        "continent": ["Europe", "Europe", "Europe", "Asia", "Asia", "Asia",
+                      "Europe", "Asia"],
+        "gdp": ["High", "High", "High", "Low", "Low", "High", "High", "Low"],
+        "hdi": ["High", "High", "High", "Medium", "Medium", "High", "High", "Medium"],
+    })
+
+
+class TestApriori:
+    def test_singletons_respect_support(self, transactions):
+        results = apriori(transactions, ["continent", "gdp"], min_support=0.5)
+        patterns = {repr(r.pattern) for r in results}
+        assert any("continent == 'Europe'" in p for p in patterns)
+        assert any("gdp == 'High'" in p for p in patterns)
+        # Asia appears 4/8 = 0.5 so it is kept; Low GDP 3/8 is not.
+        assert not any("'Low'" in p for p in patterns)
+
+    def test_support_counts_are_exact(self, transactions):
+        results = apriori(transactions, ["continent"], min_support=0.1)
+        by_repr = {repr(r.pattern): r for r in results}
+        europe = by_repr["continent == 'Europe'"]
+        assert europe.support == 4
+        assert europe.support_fraction == pytest.approx(0.5)
+
+    def test_pairs_generated_by_join(self, transactions):
+        results = apriori(transactions, ["continent", "gdp", "hdi"], min_support=0.4)
+        lengths = {len(r.pattern) for r in results}
+        assert 2 in lengths
+        pair = next(r for r in results if len(r.pattern) == 2
+                    and set(r.pattern.attributes) == {"continent", "gdp"})
+        assert pair.support == 4  # Europe & High
+
+    def test_anti_monotone_supports(self, transactions):
+        results = apriori(transactions, ["continent", "gdp", "hdi"], min_support=0.1)
+        by_pattern = {r.pattern: r.support for r in results}
+        for pattern, support in by_pattern.items():
+            for i in range(len(pattern.predicates)):
+                parent = Pattern(pattern.predicates[:i] + pattern.predicates[i + 1:])
+                if len(parent) >= 1:
+                    assert by_pattern[parent] >= support
+
+    def test_max_length_cap(self, transactions):
+        results = apriori(transactions, ["continent", "gdp", "hdi"],
+                          min_support=0.1, max_length=1)
+        assert all(len(r.pattern) == 1 for r in results)
+
+    def test_max_values_per_attribute(self, transactions):
+        results = apriori(transactions, ["continent"], min_support=0.0,
+                          max_values_per_attribute=1)
+        assert len(results) == 1  # only the most frequent continent kept
+
+    def test_no_conflicting_values_in_one_pattern(self, transactions):
+        results = apriori(transactions, ["continent", "gdp", "hdi"], min_support=0.0)
+        for r in results:
+            attrs = [p.attribute for p in r.pattern]
+            assert len(attrs) == len(set(attrs))
+
+    def test_invalid_support_rejected(self, transactions):
+        with pytest.raises(ValueError):
+            apriori(transactions, ["continent"], min_support=1.5)
+
+    def test_zero_support_keeps_all_values(self, transactions):
+        results = apriori(transactions, ["gdp"], min_support=0.0)
+        assert {r.pattern.predicates[0].value for r in results} == {"High", "Low"}
+
+    def test_threshold_one_requires_universal_pattern(self, transactions):
+        results = apriori(transactions, ["continent", "gdp"], min_support=1.0)
+        assert results == []

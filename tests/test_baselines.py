@@ -1,0 +1,128 @@
+"""Unit tests for the baseline explanation methods."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ExplanationTable,
+    ExplanationTableG,
+    FallingRuleList,
+    InterpretableDecisionSets,
+    XInsightPairwise,
+    binarize_outcome,
+)
+from repro.mining import mine_grouping_patterns
+from repro.sql import AggregateView
+
+
+@pytest.fixture(scope="module")
+def so_view(so_bundle):
+    return AggregateView(so_bundle.table, so_bundle.query)
+
+
+class TestBinarize:
+    def test_binarize_around_mean(self, so_bundle):
+        table, name = binarize_outcome(so_bundle.table, "Salary")
+        assert name == "Salary_high"
+        values = set(table.domain(name))
+        assert values <= {0.0, 1.0}
+        assert 0.0 < np.mean(table.column(name).values) < 1.0
+
+    def test_binarize_with_threshold(self, so_bundle):
+        table, name = binarize_outcome(so_bundle.table, "Salary", threshold=1e12)
+        assert set(table.domain(name)) == {0.0}
+
+
+class TestExplanationTable:
+    def test_fit_produces_requested_number_of_rules(self, so_bundle):
+        model = ExplanationTable(n_patterns=3, max_length=1).fit(
+            so_bundle.table, "Salary",
+            attributes=["Role", "Education", "Student", "AgeBand"])
+        assert 1 <= len(model.rules) <= 3
+
+    def test_rules_have_positive_support(self, so_bundle):
+        model = ExplanationTable(n_patterns=3, max_length=1).fit(
+            so_bundle.table, "Salary", attributes=["Role", "Student"])
+        assert all(rule.support > 0 for rule in model.rules)
+
+    def test_rules_are_distinct(self, so_bundle):
+        model = ExplanationTable(n_patterns=4, max_length=1).fit(
+            so_bundle.table, "Salary", attributes=["Role", "Education", "Student"])
+        patterns = [rule.pattern for rule in model.rules]
+        assert len(patterns) == len(set(patterns))
+
+    def test_predict_returns_binary_vector(self, so_bundle):
+        model = ExplanationTable(n_patterns=2, max_length=1).fit(
+            so_bundle.table, "Salary", attributes=["Role", "Student"])
+        predictions = model.predict(so_bundle.table)
+        assert predictions.shape == (so_bundle.table.n_rows,)
+        assert set(np.unique(predictions)) <= {0.0, 1.0}
+
+    def test_explanation_table_g_per_group(self, so_view, so_bundle):
+        groupings = mine_grouping_patterns(so_view, so_bundle.grouping_attributes)
+        model = ExplanationTableG(n_patterns=2).fit(
+            so_view, groupings[:3], "Salary", attributes=["Role", "Student"])
+        assert len(model.tables) >= 1
+        assert all(t.rules for t in model.tables.values())
+
+
+class TestIDS:
+    def test_rule_budget_respected(self, so_bundle):
+        model = InterpretableDecisionSets(max_rules=3, max_length=1).fit(
+            so_bundle.table, "Salary", attributes=["Role", "Education", "Student"])
+        assert len(model.rules) <= 3
+
+    def test_accuracy_beats_random_guessing(self, so_bundle):
+        model = InterpretableDecisionSets(max_rules=5, max_length=1).fit(
+            so_bundle.table, "Salary",
+            attributes=["Role", "Education", "Student", "AgeBand", "GDP"])
+        assert model.accuracy(so_bundle.table, "Salary") > 0.5
+
+    def test_predictions_binary(self, so_bundle):
+        model = InterpretableDecisionSets(max_rules=3, max_length=1).fit(
+            so_bundle.table, "Salary", attributes=["Role", "Student"])
+        assert set(np.unique(model.predict(so_bundle.table))) <= {0.0, 1.0}
+
+
+class TestFRL:
+    def test_list_is_falling(self, so_bundle):
+        model = FallingRuleList(max_rules=5, max_length=1).fit(
+            so_bundle.table, "Salary",
+            attributes=["Role", "Education", "Student", "GDP"])
+        assert model.rules
+        assert model.is_falling()
+
+    def test_first_rule_has_highest_probability(self, so_bundle):
+        model = FallingRuleList(max_rules=5, max_length=1).fit(
+            so_bundle.table, "Salary", attributes=["Role", "Education", "GDP"])
+        confidences = [rule.confidence for rule in model.rules]
+        assert confidences[0] == max(confidences)
+
+    def test_predict_proba_in_unit_interval(self, so_bundle):
+        model = FallingRuleList(max_rules=4, max_length=1).fit(
+            so_bundle.table, "Salary", attributes=["Role", "GDP"])
+        probabilities = model.predict_proba(so_bundle.table)
+        assert probabilities.min() >= 0.0 and probabilities.max() <= 1.0
+
+
+class TestXInsight:
+    def test_pairwise_explanations_grow_quadratically(self, so_view, so_bundle):
+        model = XInsightPairwise(dag=so_bundle.dag).fit(
+            so_view, ["Role", "Education", "Student"], max_pairs=6)
+        assert model.explanation_size() <= 6
+        # A summary over all pairs would need m*(m-1)/2 entries; CauSumX needs k.
+        assert so_view.m * (so_view.m - 1) // 2 > 5
+
+    def test_explanations_reference_real_groups(self, so_view, so_bundle):
+        model = XInsightPairwise(dag=so_bundle.dag).fit(
+            so_view, ["Role", "Student"], max_pairs=4)
+        keys = set(so_view.group_keys())
+        for explanation in model.explanations:
+            assert explanation.group_a in keys and explanation.group_b in keys
+
+    def test_top_sorted_by_score(self, so_view, so_bundle):
+        model = XInsightPairwise(dag=so_bundle.dag).fit(
+            so_view, ["Role", "Student"], max_pairs=6)
+        top = model.top(3)
+        scores = [e.score for e in top]
+        assert scores == sorted(scores, reverse=True)

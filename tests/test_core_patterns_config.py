@@ -1,0 +1,126 @@
+"""Unit tests for explanation patterns, summaries, configuration, and rendering."""
+
+import pytest
+
+from repro.causal import EffectEstimate
+from repro.core import CauSumXConfig, ExplanationPattern, ExplanationSummary
+from repro.core.render import describe_pattern, describe_predicate, render_pattern, render_summary
+from repro.dataframe import Op, Pattern, Predicate
+from repro.mining.grouping import GroupingPattern
+from repro.mining.treatments import TreatmentCandidate
+
+
+def _candidate(value: float, p: float = 0.001) -> TreatmentCandidate:
+    return TreatmentCandidate(Pattern.of(("Role", "=", "Exec")),
+                              EffectEstimate(value, 1.0, p, 100, 100))
+
+
+def _grouping(groups) -> GroupingPattern:
+    return GroupingPattern(Pattern.of(("Continent", "=", "Europe")), frozenset(groups))
+
+
+class TestExplanationPattern:
+    def test_explainability_sums_absolute_cates(self):
+        pattern = ExplanationPattern(_grouping([("FR",)]), _candidate(30.0),
+                                     _candidate(-40.0))
+        assert pattern.explainability == pytest.approx(70.0)
+
+    def test_explainability_single_direction(self):
+        assert ExplanationPattern(_grouping([("FR",)]),
+                                  _candidate(30.0)).explainability == pytest.approx(30.0)
+
+    def test_has_treatment(self):
+        assert not ExplanationPattern(_grouping([("FR",)])).has_treatment()
+        assert ExplanationPattern(_grouping([("FR",)]), _candidate(1.0)).has_treatment()
+
+
+class TestExplanationSummary:
+    def _summary(self, patterns, groups, k=3, theta=0.5):
+        return ExplanationSummary(patterns=patterns, all_groups=tuple(groups),
+                                  k=k, theta=theta)
+
+    def test_coverage_and_objective(self):
+        patterns = [ExplanationPattern(_grouping([("FR",), ("DE",)]), _candidate(10.0)),
+                    ExplanationPattern(
+                        GroupingPattern(Pattern.of(("GDP", "=", "High")),
+                                        frozenset([("US",)])), _candidate(20.0))]
+        summary = self._summary(patterns, [("FR",), ("DE",), ("US",), ("IN",)])
+        assert summary.coverage == pytest.approx(0.75)
+        assert summary.total_explainability == pytest.approx(30.0)
+        assert summary.satisfies_constraints()
+
+    def test_constraint_violations_detected(self):
+        pattern = ExplanationPattern(_grouping([("FR",)]), _candidate(10.0))
+        too_many = self._summary([pattern] * 4, [("FR",)], k=3)
+        assert not too_many.satisfies_constraints()
+        low_coverage = self._summary([pattern], [("FR",), ("A",), ("B",), ("C",)],
+                                     theta=0.9)
+        assert not low_coverage.satisfies_constraints()
+
+    def test_group_assignment_and_uncovered(self):
+        pattern = ExplanationPattern(_grouping([("FR",)]), _candidate(10.0))
+        summary = self._summary([pattern], [("FR",), ("US",)])
+        assignment = summary.group_assignment()
+        assert assignment[("FR",)] == [0]
+        assert summary.uncovered_groups() == [("US",)]
+
+    def test_sorted_by_weight(self):
+        light = ExplanationPattern(_grouping([("FR",)]), _candidate(1.0))
+        heavy = ExplanationPattern(_grouping([("DE",)]), _candidate(100.0))
+        summary = self._summary([light, heavy], [("FR",), ("DE",)])
+        assert summary.sorted_by_weight()[0] is heavy
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = CauSumXConfig()
+        assert config.k == 5
+        assert config.theta == 0.75
+        assert config.apriori_threshold == 0.1
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            CauSumXConfig(k=0)
+        with pytest.raises(ValueError):
+            CauSumXConfig(theta=1.5)
+        with pytest.raises(ValueError):
+            CauSumXConfig(solver="quantum")
+        with pytest.raises(ValueError):
+            CauSumXConfig(grouping_mode="magic")
+        with pytest.raises(ValueError):
+            CauSumXConfig(directions="+/-")
+
+    def test_with_overrides_creates_copy(self):
+        base = CauSumXConfig()
+        changed = base.with_overrides(k=7)
+        assert changed.k == 7
+        assert base.k == 5
+
+
+class TestRendering:
+    def test_describe_predicate_operators(self):
+        assert describe_predicate(Predicate("Age", Op.LT, 35)) == "Age is below 35"
+        assert describe_predicate(Predicate("Age", Op.GE, 55)) == "Age is at least 55"
+        assert describe_predicate(Predicate("Role", Op.EQ, "QA")) == "Role is QA"
+
+    def test_describe_empty_pattern(self):
+        assert describe_pattern(Pattern()) == "all tuples"
+
+    def test_render_pattern_contains_both_directions(self):
+        pattern = ExplanationPattern(_grouping([("FR",)]), _candidate(36000.0),
+                                     _candidate(-39000.0))
+        text = render_pattern(pattern, outcome="annual salary")
+        assert "positive effect on annual salary" in text
+        assert "adverse impact" in text
+        assert "Continent is Europe" in text
+
+    def test_render_summary_footer(self):
+        pattern = ExplanationPattern(_grouping([("FR",)]), _candidate(10.0))
+        summary = ExplanationSummary([pattern], (("FR",),), k=3, theta=1.0)
+        text = render_summary(summary)
+        assert "coverage 100%" in text
+        assert "1 explanation pattern" in text
+
+    def test_render_empty_summary(self):
+        summary = ExplanationSummary([], (("FR",),), k=3, theta=1.0)
+        assert "No explanation patterns" in render_summary(summary)

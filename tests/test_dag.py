@@ -1,0 +1,107 @@
+"""Unit tests for the causal DAG structure."""
+
+import pytest
+
+from repro.graph import CausalDAG, dag_statistics, structural_hamming_distance
+
+
+@pytest.fixture
+def so_dag():
+    """The example DAG of Figure 3."""
+    return CausalDAG.from_dict({
+        "Education": ["Country", "Gender"],
+        "Role": ["Education", "Age", "Major", "YearsCoding"],
+        "Salary": ["Country", "Role", "Education", "Age", "Gender", "Ethnicity"],
+        "YearsCoding": ["Age"],
+        "Major": [],
+        "Country": [],
+        "Gender": [],
+        "Ethnicity": [],
+        "Age": [],
+    })
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self, so_dag):
+        assert "Salary" in so_dag
+        assert so_dag.has_edge("Role", "Salary")
+        assert not so_dag.has_edge("Salary", "Role")
+
+    def test_self_loop_rejected(self):
+        dag = CausalDAG()
+        with pytest.raises(ValueError):
+            dag.add_edge("A", "A")
+
+    def test_cycle_rejected(self):
+        dag = CausalDAG(edges=[("A", "B"), ("B", "C")])
+        with pytest.raises(ValueError):
+            dag.add_edge("C", "A")
+
+    def test_duplicate_edges_idempotent(self):
+        dag = CausalDAG(edges=[("A", "B"), ("A", "B")])
+        assert dag.n_edges == 1
+
+    def test_from_dict_and_to_dict_round_trip(self, so_dag):
+        rebuilt = CausalDAG.from_dict(so_dag.to_dict())
+        assert rebuilt == so_dag
+
+    def test_copy_is_independent(self, so_dag):
+        copy = so_dag.copy()
+        copy.remove_edge("Role", "Salary")
+        assert so_dag.has_edge("Role", "Salary")
+        assert not copy.has_edge("Role", "Salary")
+
+
+class TestQueries:
+    def test_parents_children(self, so_dag):
+        assert so_dag.parents("Role") == {"Education", "Age", "Major", "YearsCoding"}
+        assert "Salary" in so_dag.children("Role")
+
+    def test_ancestors(self, so_dag):
+        ancestors = so_dag.ancestors("Salary")
+        assert {"Country", "Gender", "Age", "Education", "Role"} <= ancestors
+        assert "Salary" not in ancestors
+
+    def test_descendants(self, so_dag):
+        assert so_dag.descendants("Age") == {"Role", "Salary", "YearsCoding"}
+
+    def test_topological_order(self, so_dag):
+        order = so_dag.topological_order()
+        assert order.index("Education") < order.index("Role")
+        assert order.index("Role") < order.index("Salary")
+        assert len(order) == len(so_dag.nodes)
+
+    def test_causal_path(self, so_dag):
+        assert so_dag.has_causal_path("Age", "Salary")
+        assert not so_dag.has_causal_path("Salary", "Age")
+
+    def test_causally_relevant(self, so_dag):
+        relevant = so_dag.causally_relevant("Salary")
+        assert "Major" in relevant  # Major -> Role -> Salary
+        assert "Salary" not in relevant
+
+    def test_subgraph(self, so_dag):
+        sub = so_dag.subgraph(["Age", "Role", "Salary"])
+        assert set(sub.nodes) == {"Age", "Role", "Salary"}
+        assert sub.has_edge("Role", "Salary")
+        assert not sub.has_edge("Education", "Role")
+
+
+class TestStatistics:
+    def test_dag_statistics(self, so_dag):
+        stats = dag_statistics(so_dag, name="figure3")
+        assert stats["nodes"] == 9
+        assert stats["edges"] == so_dag.n_edges
+        assert 0 < stats["density"] < 1
+
+    def test_density_of_empty_graph(self):
+        assert dag_statistics(CausalDAG(["A"]))["density"] == 0.0
+
+    def test_structural_hamming_distance_identical(self, so_dag):
+        assert structural_hamming_distance(so_dag, so_dag) == 0
+
+    def test_structural_hamming_distance_counts_differences(self):
+        a = CausalDAG(edges=[("A", "B"), ("B", "C")])
+        b = CausalDAG(edges=[("A", "B"), ("C", "B"), ("A", "C")])
+        # B->C reversed (1) plus A->C added (1)
+        assert structural_hamming_distance(a, b) == 2

@@ -1,0 +1,150 @@
+"""Unit tests for the dataset generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import fd_holds
+from repro.datasets import list_datasets, load_dataset
+from repro.sql import AggregateView
+
+ALL_DATASETS = ["synthetic", "stackoverflow", "adult", "german", "accidents", "cps"]
+SMALL = {"synthetic": {"n": 200}, "stackoverflow": {"n": 300}, "adult": {"n": 300},
+         "german": {"n": 300}, "accidents": {"n": 300}, "cps": {"n": 300}}
+
+
+class TestRegistry:
+    def test_all_generators_registered(self):
+        assert set(list_datasets()) == set(ALL_DATASETS)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("does-not-exist")
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+class TestEveryDataset:
+    def test_shape_and_query_validity(self, name):
+        bundle = load_dataset(name, **SMALL[name])
+        assert bundle.table.n_rows == SMALL[name]["n"]
+        bundle.query.validate(bundle.table)
+        view = AggregateView(bundle.table, bundle.query)
+        assert view.m >= 2
+
+    def test_dag_covers_outcome(self, name):
+        bundle = load_dataset(name, **SMALL[name])
+        assert bundle.query.average in bundle.dag
+        assert bundle.dag.parents(bundle.query.average)
+
+    def test_grouping_attributes_have_fds(self, name):
+        bundle = load_dataset(name, **SMALL[name])
+        for attr in bundle.grouping_attributes or []:
+            assert fd_holds(bundle.table, list(bundle.query.group_by), attr), \
+                f"{attr} is not functionally determined by the group-by attributes"
+
+    def test_treatment_attributes_exist(self, name):
+        bundle = load_dataset(name, **SMALL[name])
+        for attr in bundle.treatment_attributes or []:
+            assert attr in bundle.table
+
+    def test_deterministic_with_seed(self, name):
+        a = load_dataset(name, seed=5, **SMALL[name])
+        b = load_dataset(name, seed=5, **SMALL[name])
+        assert a.table == b.table
+
+    def test_different_seeds_differ(self, name):
+        a = load_dataset(name, seed=1, **SMALL[name])
+        b = load_dataset(name, seed=2, **SMALL[name])
+        assert a.table != b.table
+
+    def test_describe_reports_table3_columns(self, name):
+        stats = load_dataset(name, **SMALL[name]).describe()
+        assert {"name", "tuples", "attributes", "max_values_per_attribute"} <= set(stats)
+
+
+class TestSyntheticGroundTruth:
+    def test_outcome_is_alternating_sum(self):
+        bundle = load_dataset("synthetic", n=50, n_treatment=3, seed=0)
+        t1 = np.array(list(bundle.table.column("T1").values), dtype=float)
+        t2 = np.array(list(bundle.table.column("T2").values), dtype=float)
+        t3 = np.array(list(bundle.table.column("T3").values), dtype=float)
+        expected = t1 - t2 + t3
+        assert np.allclose(bundle.table.column("O").values, expected)
+
+    def test_grouping_attributes_bucket_g(self):
+        bundle = load_dataset("synthetic", n=100, n_grouping=2, seed=0)
+        assert fd_holds(bundle.table, ["G"], "G1")
+        assert fd_holds(bundle.table, ["G"], "G2")
+        assert len(bundle.table.domain("G1")) == 2
+        assert len(bundle.table.domain("G2")) == 3
+
+    def test_noise_parameter(self):
+        noiseless = load_dataset("synthetic", n=100, noise=0.0, seed=0)
+        noisy = load_dataset("synthetic", n=100, noise=1.0, seed=0)
+        assert not np.allclose(noiseless.table.column("O").values,
+                               noisy.table.column("O").values)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("synthetic", n=1)
+        with pytest.raises(ValueError):
+            load_dataset("synthetic", n_grouping=0)
+
+
+class TestStackOverflowSemantics:
+    def test_economic_attributes_follow_country(self, so_bundle):
+        assert fd_holds(so_bundle.table, ["Country"], "Continent")
+        assert fd_holds(so_bundle.table, ["Country"], "GDP")
+
+    def test_high_gdp_countries_earn_more(self, so_bundle):
+        table = so_bundle.table
+        from repro.dataframe import Pattern
+
+        high = table.select(Pattern.of(("GDP", "=", "High"))).avg("Salary")
+        low = table.select(Pattern.of(("GDP", "=", "Low"))).avg("Salary")
+        assert high > low
+
+    def test_students_earn_less(self, so_bundle):
+        from repro.dataframe import Pattern
+
+        students = so_bundle.table.select(Pattern.of(("Student", "=", "Yes")))
+        others = so_bundle.table.select(Pattern.of(("Student", "=", "No")))
+        assert students.avg("Salary") < others.avg("Salary")
+
+    def test_executives_earn_more_than_qa(self, so_bundle):
+        from repro.dataframe import Pattern
+
+        execs = so_bundle.table.select(Pattern.of(("Role", "=", "C-suite executive")))
+        qa = so_bundle.table.select(Pattern.of(("Role", "=", "QA developer")))
+        assert execs.avg("Salary") > qa.avg("Salary")
+
+
+class TestAccidentsSemantics:
+    @pytest.fixture(scope="class")
+    def accidents(self):
+        return load_dataset("accidents", n=2000, seed=0)
+
+    def test_city_determines_region(self, accidents):
+        assert fd_holds(accidents.table, ["City"], "Region")
+
+    def test_snow_raises_severity(self, accidents):
+        from repro.dataframe import Pattern
+
+        snow = accidents.table.select(Pattern.of(("Weather", "=", "Snow")))
+        clear = accidents.table.select(Pattern.of(("Weather", "=", "Clear")))
+        assert snow.avg("Severity") > clear.avg("Severity")
+
+    def test_traffic_signals_reduce_severity(self, accidents):
+        from repro.dataframe import Pattern
+
+        signal = accidents.table.select(Pattern.of(("TrafficSignal", "=", "Yes")))
+        none = accidents.table.select(Pattern.of(("TrafficSignal", "=", "No")))
+        assert signal.avg("Severity") < none.avg("Severity")
+
+    def test_snow_more_common_in_midwest_than_south(self, accidents):
+        from repro.dataframe import Pattern
+
+        midwest = accidents.table.select(Pattern.of(("Region", "=", "Midwest")))
+        south = accidents.table.select(Pattern.of(("Region", "=", "South")))
+        midwest_snow = midwest.value_counts("Weather").get("Snow", 0) / midwest.n_rows
+        south_snow = south.value_counts("Weather").get("Snow", 0) / max(south.n_rows, 1)
+        assert midwest_snow > south_snow

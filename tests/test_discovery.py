@@ -1,0 +1,121 @@
+"""Unit tests for conditional-independence testing and causal discovery."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Column, Table
+from repro.discovery import (
+    fci_lite,
+    fisher_z_independent,
+    lingam_lite,
+    no_dag,
+    partial_correlation,
+    pc_algorithm,
+)
+from repro.graph import CausalDAG
+
+
+@pytest.fixture(scope="module")
+def chain_data():
+    """X -> M -> Y with strong signal, n=1500."""
+    rng = np.random.default_rng(0)
+    n = 1500
+    x = rng.normal(size=n)
+    m = 2.0 * x + rng.normal(scale=0.5, size=n)
+    y = 1.5 * m + rng.normal(scale=0.5, size=n)
+    return Table([
+        Column("X", [float(v) for v in x], numeric=True),
+        Column("M", [float(v) for v in m], numeric=True),
+        Column("Y", [float(v) for v in y], numeric=True),
+    ])
+
+
+@pytest.fixture(scope="module")
+def independent_data():
+    rng = np.random.default_rng(1)
+    n = 1000
+    return Table({
+        "A": [float(v) for v in rng.normal(size=n)],
+        "B": [float(v) for v in rng.normal(size=n)],
+    })
+
+
+class TestCITest:
+    def test_partial_correlation_marginal(self, chain_data):
+        assert partial_correlation(chain_data, "X", "Y") > 0.8
+
+    def test_partial_correlation_given_mediator(self, chain_data):
+        assert abs(partial_correlation(chain_data, "X", "Y", ["M"])) < 0.15
+
+    def test_fisher_z_dependence(self, chain_data):
+        assert not fisher_z_independent(chain_data, "X", "M")
+
+    def test_fisher_z_conditional_independence(self, chain_data):
+        assert fisher_z_independent(chain_data, "X", "Y", ["M"], alpha=0.01)
+
+    def test_fisher_z_independent_pair(self, independent_data):
+        assert fisher_z_independent(independent_data, "A", "B")
+
+    def test_constant_column_is_independent(self):
+        table = Table({"A": [1.0] * 50, "B": [float(i) for i in range(50)]})
+        assert fisher_z_independent(table, "A", "B")
+
+    def test_tiny_sample_defaults_to_independent(self):
+        table = Table({"A": [1.0, 2.0], "B": [2.0, 4.0]})
+        assert fisher_z_independent(table, "A", "B")
+
+
+class TestPC:
+    def test_chain_skeleton_recovered(self, chain_data):
+        dag = pc_algorithm(chain_data)
+        skeleton = {frozenset(e) for e in dag.edges}
+        assert frozenset({"X", "M"}) in skeleton
+        assert frozenset({"M", "Y"}) in skeleton
+        assert frozenset({"X", "Y"}) not in skeleton
+
+    def test_output_is_acyclic(self, chain_data):
+        dag = pc_algorithm(chain_data)
+        assert len(dag.topological_order()) == 3
+
+    def test_collider_orientation(self):
+        rng = np.random.default_rng(2)
+        n = 2000
+        a = rng.normal(size=n)
+        b = rng.normal(size=n)
+        c = a + b + rng.normal(scale=0.3, size=n)
+        table = Table({"A": [float(v) for v in a], "B": [float(v) for v in b],
+                       "C": [float(v) for v in c]})
+        dag = pc_algorithm(table)
+        assert dag.has_edge("A", "C")
+        assert dag.has_edge("B", "C")
+        assert not dag.has_edge("A", "B") and not dag.has_edge("B", "A")
+
+    def test_independent_data_gives_empty_graph(self, independent_data):
+        assert pc_algorithm(independent_data).n_edges == 0
+
+    def test_categorical_attributes_supported(self, so_bundle):
+        dag = pc_algorithm(so_bundle.table,
+                           attributes=["Country", "GDP", "Role", "Salary"])
+        assert isinstance(dag, CausalDAG)
+        assert set(dag.nodes) == {"Country", "GDP", "Role", "Salary"}
+
+
+class TestOtherDiscovery:
+    def test_fci_is_no_denser_than_pc(self, chain_data):
+        pc = pc_algorithm(chain_data)
+        fci = fci_lite(chain_data)
+        assert fci.n_edges <= pc.n_edges
+
+    def test_lingam_produces_dag(self, chain_data):
+        dag = lingam_lite(chain_data)
+        assert len(dag.topological_order()) == 3  # acyclic by construction
+
+    def test_lingam_finds_strong_edges(self, chain_data):
+        dag = lingam_lite(chain_data)
+        skeleton = {frozenset(e) for e in dag.edges}
+        assert frozenset({"X", "M"}) in skeleton or frozenset({"M", "Y"}) in skeleton
+
+    def test_no_dag_star_shape(self, simple_table):
+        dag = no_dag(simple_table, "Salary")
+        assert dag.n_edges == len(simple_table.attributes) - 1
+        assert all(child == "Salary" for _, child in dag.edges)

@@ -1,0 +1,98 @@
+"""Unit tests for d-separation and backdoor adjustment-set search."""
+
+import pytest
+
+from repro.graph import (
+    CausalDAG,
+    backdoor_adjustment_set,
+    d_separated,
+    parents_adjustment_set,
+)
+from repro.graph.backdoor import satisfies_backdoor
+
+
+@pytest.fixture
+def confounder_dag():
+    """Classic confounding: Z -> T, Z -> Y, T -> Y."""
+    return CausalDAG.from_dict({"T": ["Z"], "Y": ["T", "Z"], "Z": []})
+
+
+@pytest.fixture
+def collider_dag():
+    """Collider: A -> C <- B."""
+    return CausalDAG.from_dict({"C": ["A", "B"], "A": [], "B": []})
+
+
+@pytest.fixture
+def mediator_dag():
+    """Chain: T -> M -> Y."""
+    return CausalDAG.from_dict({"M": ["T"], "Y": ["M"], "T": []})
+
+
+class TestDSeparation:
+    def test_chain_blocked_by_mediator(self, mediator_dag):
+        assert not d_separated(mediator_dag, "T", "Y")
+        assert d_separated(mediator_dag, "T", "Y", given=["M"])
+
+    def test_fork_blocked_by_common_cause(self, confounder_dag):
+        assert not d_separated(confounder_dag, "T", "Y")
+        # Conditioning on Z blocks the backdoor but the direct edge T->Y remains.
+        assert not d_separated(confounder_dag, "T", "Y", given=["Z"])
+
+    def test_collider_blocks_by_default(self, collider_dag):
+        assert d_separated(collider_dag, "A", "B")
+
+    def test_conditioning_on_collider_opens_path(self, collider_dag):
+        assert not d_separated(collider_dag, "A", "B", given=["C"])
+
+    def test_conditioning_on_collider_descendant_opens_path(self):
+        dag = CausalDAG.from_dict({"C": ["A", "B"], "D": ["C"], "A": [], "B": []})
+        assert d_separated(dag, "A", "B")
+        assert not d_separated(dag, "A", "B", given=["D"])
+
+    def test_same_node_never_separated(self, confounder_dag):
+        assert not d_separated(confounder_dag, "T", "T")
+
+    def test_disconnected_nodes_are_separated(self):
+        dag = CausalDAG(["A", "B"])
+        assert d_separated(dag, "A", "B")
+
+    def test_chain_dag_fixture(self, chain_dag):
+        # A and C are connected through B and through U.
+        assert not d_separated(chain_dag, "A", "C")
+        assert d_separated(chain_dag, "A", "C", given=["B", "U"])
+
+
+class TestBackdoor:
+    def test_parents_adjustment_set(self, confounder_dag):
+        assert parents_adjustment_set(confounder_dag, "T", "Y") == ["Z"]
+
+    def test_parents_adjustment_multi_treatment(self):
+        dag = CausalDAG.from_dict({"T1": ["Z"], "T2": ["W"], "Y": ["T1", "T2", "Z", "W"]})
+        assert parents_adjustment_set(dag, ["T1", "T2"], "Y") == ["W", "Z"]
+
+    def test_minimal_backdoor_set(self, confounder_dag):
+        assert backdoor_adjustment_set(confounder_dag, "T", "Y") == ["Z"]
+
+    def test_backdoor_empty_when_no_confounding(self, mediator_dag):
+        assert backdoor_adjustment_set(mediator_dag, "T", "Y") == []
+
+    def test_backdoor_excludes_descendants(self, mediator_dag):
+        # M is a descendant of T and must not be in a valid adjustment set.
+        assert not satisfies_backdoor(mediator_dag, "T", "Y", ["M"])
+
+    def test_satisfies_backdoor_confounder(self, confounder_dag):
+        assert satisfies_backdoor(confounder_dag, "T", "Y", ["Z"])
+        assert not satisfies_backdoor(confounder_dag, "T", "Y", [])
+
+    def test_treatment_not_in_dag_yields_empty_set(self, confounder_dag):
+        assert backdoor_adjustment_set(confounder_dag, "NotThere", "Y") == []
+        assert parents_adjustment_set(confounder_dag, "NotThere", "Y") == []
+
+    def test_m_structure_needs_no_adjustment(self):
+        # M-bias graph: U1 -> Z <- U2, U1 -> T, U2 -> Y; empty set is valid,
+        # and adjusting for Z alone would open the path.
+        dag = CausalDAG.from_dict({
+            "Z": ["U1", "U2"], "T": ["U1"], "Y": ["U2", "T"], "U1": [], "U2": []})
+        assert backdoor_adjustment_set(dag, "T", "Y") == []
+        assert not satisfies_backdoor(dag, "T", "Y", ["Z"])

@@ -1,0 +1,73 @@
+"""Unit tests for design-matrix encoding and CSV round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Table, design_matrix, one_hot, read_csv, write_csv
+
+
+class TestOneHot:
+    def test_drop_first_reference_level(self, simple_table):
+        matrix, names = one_hot(simple_table, "Continent")
+        # Two continents -> one indicator column (reference level dropped).
+        assert matrix.shape == (6, 1)
+        assert names == ["Continent=N. America"]
+
+    def test_keep_all_levels(self, simple_table):
+        matrix, names = one_hot(simple_table, "Country", drop_first=False)
+        assert matrix.shape == (6, 3)
+        assert matrix.sum() == 6  # each row has exactly one indicator set
+
+    def test_single_level_column(self):
+        table = Table.from_columns({"x": ["a", "a"], "y": [1.0, 2.0]})
+        matrix, names = one_hot(table, "x")
+        assert matrix.shape[1] == 1  # not dropped below one column
+
+
+class TestDesignMatrix:
+    def test_mixed_attributes(self, simple_table):
+        matrix, names = design_matrix(simple_table, ["Age", "Continent"])
+        assert matrix.shape == (6, 2)
+        assert names[0] == "Age"
+
+    def test_intercept(self, simple_table):
+        matrix, names = design_matrix(simple_table, ["Age"], add_intercept=True)
+        assert names[0] == "intercept"
+        assert np.all(matrix[:, 0] == 1.0)
+
+    def test_missing_numeric_imputed_with_mean(self):
+        table = Table.from_columns({"x": [1.0, None, 3.0]})
+        matrix, _ = design_matrix(table, ["x"])
+        assert matrix[1, 0] == pytest.approx(2.0)
+
+    def test_empty_attribute_list(self, simple_table):
+        matrix, names = design_matrix(simple_table, [])
+        assert matrix.shape == (6, 0)
+        assert names == []
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path, simple_table):
+        path = tmp_path / "table.csv"
+        write_csv(simple_table, path)
+        loaded = read_csv(path)
+        assert loaded.n_rows == simple_table.n_rows
+        assert loaded.attributes == simple_table.attributes
+        assert loaded.column("Salary").numeric
+        assert not loaded.column("Country").numeric
+        assert loaded.avg("Salary") == pytest.approx(simple_table.avg("Salary"))
+
+    def test_missing_values_round_trip(self, tmp_path):
+        table = Table.from_columns({"a": [1.0, None], "b": ["x", None]})
+        path = tmp_path / "missing.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert np.isnan(loaded.column("a").values[1])
+        assert loaded.column("b").values[1] is None
+
+    def test_integer_preservation(self, tmp_path):
+        table = Table.from_columns({"n": [1, 2, 3]})
+        path = tmp_path / "ints.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.column("n").numeric

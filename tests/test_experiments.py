@@ -1,0 +1,136 @@
+"""Integration tests for the experiment drivers (small configurations)."""
+
+import pytest
+
+from repro.core import CauSumXConfig
+from repro.datasets import make_synthetic
+from repro.experiments import (
+    cate_vs_sample_size,
+    dag_sensitivity,
+    dag_statistics_table,
+    grouping_precision_recall,
+    kendall_vs_sample_size,
+    run_case_study,
+    run_variants_comparison,
+    runtime_vs_attributes,
+    runtime_vs_data_size,
+    runtime_vs_treatment_patterns,
+    sweep_apriori_threshold,
+    sweep_k,
+    treatment_precision_recall,
+)
+from repro.mining.treatments import TreatmentMinerConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return CauSumXConfig(
+        k=2, theta=0.5, sample_size=None, min_group_size=5,
+        treatment=TreatmentMinerConfig(max_levels=2, min_group_size=5,
+                                       significance_level=1.0,
+                                       max_values_per_attribute=6),
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_bundle():
+    return make_synthetic(n=250, n_grouping=2, n_treatment=2, seed=5)
+
+
+class TestVariantsExperiment:
+    def test_rows_have_expected_fields(self, tiny_bundle, tiny_config):
+        rows = run_variants_comparison(tiny_bundle,
+                                       variants=("CauSumX", "Greedy-Last-Step"),
+                                       config=tiny_config)
+        assert len(rows) == 2
+        for row in rows:
+            assert {"variant", "runtime", "coverage", "total_explainability"} <= set(row)
+            assert row["runtime"] > 0
+
+    def test_unknown_variant_rejected(self, tiny_bundle, tiny_config):
+        with pytest.raises(KeyError):
+            run_variants_comparison(tiny_bundle, variants=("NotAVariant",),
+                                    config=tiny_config)
+
+
+class TestSweeps:
+    def test_sweep_k_monotone_objective(self, tiny_bundle, tiny_config):
+        rows = sweep_k(tiny_bundle, [1, 3], config=tiny_config, variants=("CauSumX",))
+        by_k = {row["k"]: row["total_explainability"] for row in rows}
+        assert by_k[3] >= by_k[1] - 1e-9
+
+    def test_sweep_threshold_rows(self, tiny_bundle, tiny_config):
+        rows = sweep_apriori_threshold(tiny_bundle, [0.05, 0.4], config=tiny_config)
+        assert [row["apriori_threshold"] for row in rows] == [0.05, 0.4]
+        assert all(row["n_candidates"] >= 0 for row in rows)
+
+
+class TestAccuracyExperiment:
+    def test_grouping_precision_recall_bounds(self):
+        rows = grouping_precision_recall([2, 3], n=200, seed=1)
+        for row in rows:
+            assert 0.0 <= row["precision"] <= 1.0
+            assert 0.0 <= row["recall"] <= 1.0
+
+    def test_treatment_precision_recall_bounds(self):
+        rows = treatment_precision_recall([2], n=200, n_grouping_patterns=3, seed=1)
+        assert rows
+        for row in rows:
+            assert 0.0 <= row["precision"] <= 1.0
+            assert 0.0 <= row["recall"] <= 1.0
+
+
+class TestScalabilityExperiment:
+    def test_runtime_vs_data_size(self, tiny_bundle, tiny_config):
+        rows = runtime_vs_data_size(tiny_bundle, [100, 200], config=tiny_config)
+        assert [row["n_tuples"] for row in rows] == [100, 200]
+        assert all(row["runtime"] > 0 for row in rows)
+
+    def test_runtime_vs_attributes(self, tiny_bundle, tiny_config):
+        rows = runtime_vs_attributes(tiny_bundle, [1, 2], config=tiny_config)
+        assert [row["n_attributes"] for row in rows] == [1, 2]
+
+    def test_runtime_vs_treatment_patterns(self, tiny_bundle, tiny_config):
+        rows = runtime_vs_treatment_patterns(tiny_bundle, [3, 5], config=tiny_config)
+        assert all(row["n_atomic_treatments"] > 0 for row in rows)
+
+
+class TestSamplingExperiment:
+    def test_cate_vs_sample_size(self, tiny_bundle):
+        rows = cate_vs_sample_size(tiny_bundle, [100, 250], n_treatments=3, seed=0)
+        assert len(rows) == 6
+        full = [row for row in rows if row["sample_size"] == 250]
+        assert all(row["relative_error"] < 1e-9 or row["relative_error"] != row["relative_error"]
+                   for row in full)  # full-size sample reproduces the reference
+
+    def test_kendall_vs_sample_size_increases_with_size(self, tiny_bundle):
+        rows = kendall_vs_sample_size(tiny_bundle, [50, 250], n_treatments=8, seed=0)
+        by_size = {row["sample_size"]: row["kendall_tau"] for row in rows}
+        assert by_size[250] >= by_size[50] - 1e-9
+        assert by_size[250] == pytest.approx(1.0)
+
+
+class TestDagExperiment:
+    def test_dag_statistics_table(self, tiny_bundle):
+        rows = dag_statistics_table(tiny_bundle, methods=("ground_truth", "PC"))
+        assert {row["name"] for row in rows} == {"ground_truth", "PC"}
+        assert all(row["edges"] >= 0 for row in rows)
+
+    def test_dag_sensitivity_rows(self, tiny_bundle, tiny_config):
+        rows = dag_sensitivity(tiny_bundle, methods=("ground_truth", "No-DAG"),
+                               config=tiny_config, n_treatments=6)
+        by_dag = {row["dag"]: row for row in rows}
+        assert by_dag["ground_truth"]["kendall_tau"] == pytest.approx(1.0)
+        assert -1.0 <= by_dag["No-DAG"]["kendall_tau"] <= 1.0
+
+
+class TestCaseStudies:
+    def test_unknown_case_study(self):
+        with pytest.raises(KeyError):
+            run_case_study("figure99")
+
+    def test_german_case_study_small(self, tiny_config):
+        summary, text = run_case_study("figure18_german", n=300, seed=1,
+                                       config=tiny_config)
+        assert len(summary) >= 1
+        assert "effect size" in text

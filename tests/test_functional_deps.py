@@ -1,0 +1,62 @@
+"""Unit tests for functional-dependency detection and attribute partition."""
+
+from repro.dataframe import Table, fd_closure, fd_holds, grouping_attribute_partition
+
+
+def test_fd_holds_true(simple_table):
+    assert fd_holds(simple_table, ["Country"], "Continent")
+
+
+def test_fd_holds_false(simple_table):
+    assert not fd_holds(simple_table, ["Country"], "Gender")
+
+
+def test_fd_reflexive(simple_table):
+    assert fd_holds(simple_table, ["Country"], "Country")
+
+
+def test_fd_with_multiple_lhs(simple_table):
+    assert fd_holds(simple_table, ["Country", "Gender"], "Continent")
+
+
+def test_fd_closure(simple_table):
+    closure = fd_closure(simple_table, ["Country"], exclude=["Salary"])
+    assert closure == ["Continent"]
+
+
+def test_fd_closure_excludes_outcome():
+    table = Table.from_columns({"g": ["a", "b"], "w": ["x", "y"], "o": [1.0, 2.0]})
+    closure = fd_closure(table, ["g"], exclude=["o"])
+    assert "o" not in closure
+    assert "w" in closure
+
+
+def test_fd_with_missing_values_consistent():
+    table = Table.from_columns({"g": ["a", "a"], "w": [None, None]})
+    assert fd_holds(table, ["g"], "w")
+
+
+def test_fd_violated_by_missing_vs_value():
+    table = Table.from_columns({"g": ["a", "a"], "w": [None, "x"]})
+    assert not fd_holds(table, ["g"], "w")
+
+
+def test_grouping_attribute_partition(simple_table):
+    grouping, treatment = grouping_attribute_partition(simple_table, ["Country"],
+                                                       "Salary")
+    assert grouping == ["Continent"]
+    assert "Country" not in treatment
+    assert "Salary" not in treatment
+    assert "Continent" not in treatment
+    assert set(treatment) == {"Gender", "Age", "Role", "Education"}
+
+
+def test_partition_no_fds():
+    table = Table.from_columns({
+        "purpose": ["car", "car", "tv"],
+        "age": [20, 30, 40],
+        "risk": [0.0, 1.0, 1.0],
+    })
+    grouping, treatment = grouping_attribute_partition(table, ["purpose"], "risk")
+    assert grouping == []
+    assert treatment == ["age"]

@@ -1,0 +1,78 @@
+"""Unit tests for grouping-pattern mining and redundancy removal (Section 5.1)."""
+
+import pytest
+
+from repro.dataframe import Pattern
+from repro.mining import GroupingPattern, mine_grouping_patterns
+from repro.mining.grouping import deduplicate_grouping_patterns
+from repro.sql import AggregateView, GroupByAvgQuery
+
+
+@pytest.fixture
+def so_view(so_bundle):
+    return AggregateView(so_bundle.table, so_bundle.query)
+
+
+class TestMineGroupingPatterns:
+    def test_patterns_only_use_grouping_attributes(self, so_view, so_bundle):
+        patterns = mine_grouping_patterns(so_view, so_bundle.grouping_attributes,
+                                          min_support=0.1)
+        allowed = set(so_bundle.grouping_attributes)
+        for grouping in patterns:
+            assert set(grouping.pattern.attributes) <= allowed
+
+    def test_every_pattern_covers_at_least_one_group(self, so_view, so_bundle):
+        patterns = mine_grouping_patterns(so_view, so_bundle.grouping_attributes)
+        assert patterns
+        assert all(grouping.coverage >= 1 for grouping in patterns)
+
+    def test_coverage_matches_view_definition(self, so_view, so_bundle):
+        patterns = mine_grouping_patterns(so_view, so_bundle.grouping_attributes)
+        for grouping in patterns[:5]:
+            assert grouping.covered_groups == so_view.covered_groups(grouping.pattern)
+
+    def test_no_two_patterns_cover_same_group_set(self, so_view, so_bundle):
+        patterns = mine_grouping_patterns(so_view, so_bundle.grouping_attributes)
+        coverages = [grouping.covered_groups for grouping in patterns]
+        assert len(coverages) == len(set(coverages))
+
+    def test_higher_threshold_fewer_patterns(self, so_view, so_bundle):
+        low = mine_grouping_patterns(so_view, so_bundle.grouping_attributes,
+                                     min_support=0.05)
+        high = mine_grouping_patterns(so_view, so_bundle.grouping_attributes,
+                                      min_support=0.4)
+        assert len(high) <= len(low)
+
+    def test_singleton_fallback_without_grouping_attributes(self, so_view):
+        patterns = mine_grouping_patterns(so_view, [], min_support=0.1)
+        # One pattern per country, each covering exactly one group.
+        assert len(patterns) == so_view.m
+        assert all(grouping.coverage == 1 for grouping in patterns)
+
+    def test_include_singleton_groups_flag(self, so_view, so_bundle):
+        patterns = mine_grouping_patterns(so_view, so_bundle.grouping_attributes,
+                                          include_singleton_groups=True)
+        singleton_count = sum(1 for g in patterns if g.coverage == 1)
+        assert singleton_count >= 1
+
+
+class TestDeduplication:
+    def test_shortest_pattern_wins(self):
+        groups = frozenset([("US",), ("Canada",)])
+        long = GroupingPattern(Pattern.of(("HDI", "=", "High"), ("GDP", "=", "High")),
+                               groups)
+        short = GroupingPattern(Pattern.of(("GDP", "=", "High")), groups)
+        kept = deduplicate_grouping_patterns([long, short])
+        assert len(kept) == 1
+        assert kept[0].pattern == short.pattern
+
+    def test_distinct_coverages_all_kept(self):
+        a = GroupingPattern(Pattern.of(("x", "=", 1)), frozenset([("a",)]))
+        b = GroupingPattern(Pattern.of(("x", "=", 2)), frozenset([("b",)]))
+        assert len(deduplicate_grouping_patterns([a, b])) == 2
+
+    def test_sorted_by_coverage_descending(self):
+        a = GroupingPattern(Pattern.of(("x", "=", 1)), frozenset([("a",)]))
+        b = GroupingPattern(Pattern.of(("x", "=", 2)), frozenset([("b",), ("c",)]))
+        kept = deduplicate_grouping_patterns([a, b])
+        assert kept[0].coverage == 2

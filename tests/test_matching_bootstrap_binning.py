@@ -1,0 +1,128 @@
+"""Tests for the matching estimator, bootstrap intervals, and discretisation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.causal import CATEEstimator, bootstrap_cate, matching_ate
+from repro.dataframe import (
+    Pattern,
+    Table,
+    bin_edges,
+    bin_label,
+    discretize,
+    discretize_column,
+)
+
+
+class TestMatching:
+    def test_matching_recovers_effect_under_confounding(self, confounded_table):
+        effect = matching_ate(confounded_table, Pattern.of(("T", "=", 1)), "Y",
+                              adjustment=["Z"])
+        assert effect.estimator == "matching"
+        assert effect.value == pytest.approx(5.0, abs=0.6)
+
+    def test_matching_agrees_with_regression(self, confounded_table, confounded_dag):
+        regression = CATEEstimator(confounded_table, "Y", dag=confounded_dag).estimate(
+            Pattern.of(("T", "=", 1)))
+        matched = matching_ate(confounded_table, Pattern.of(("T", "=", 1)), "Y",
+                               adjustment=["Z"])
+        assert matched.value == pytest.approx(regression.value, abs=0.7)
+
+    def test_matching_without_covariates_is_difference_in_means(self, confounded_table):
+        effect = matching_ate(confounded_table, Pattern.of(("T", "=", 1)), "Y")
+        y = confounded_table.column("Y").values
+        t = confounded_table.column("T").values == 1
+        assert effect.value == pytest.approx(float(y[t].mean() - y[~t].mean()), abs=1e-6)
+
+    def test_matching_overlap_violation(self, confounded_table):
+        effect = matching_ate(confounded_table, Pattern.of(("Y", ">", -1e12)), "Y")
+        assert not effect.is_valid()
+
+    def test_max_treated_cap(self, confounded_table):
+        effect = matching_ate(confounded_table, Pattern.of(("T", "=", 1)), "Y",
+                              adjustment=["Z"], max_treated=100, seed=1)
+        assert effect.is_valid()
+        assert effect.value == pytest.approx(5.0, abs=1.0)
+
+
+class TestBootstrap:
+    @pytest.fixture(scope="class")
+    def small_confounded(self):
+        rng = np.random.default_rng(3)
+        n = 400
+        z = rng.integers(0, 2, n)
+        t = (rng.random(n) < 0.3 + 0.3 * z).astype(int)
+        y = 5.0 * t + 2.0 * z + rng.normal(0, 1, n)
+        return Table.from_columns({
+            "Z": [int(v) for v in z], "T": [int(v) for v in t],
+            "Y": [float(v) for v in y]})
+
+    def test_interval_contains_truth(self, small_confounded, confounded_dag):
+        estimator = CATEEstimator(small_confounded, "Y", dag=confounded_dag)
+        interval = bootstrap_cate(estimator, Pattern.of(("T", "=", 1)),
+                                  n_resamples=60, seed=0)
+        assert interval.lower < 5.0 < interval.upper
+        assert interval.excludes_zero()
+        assert interval.contains(interval.point_estimate)
+
+    def test_interval_width_positive(self, small_confounded, confounded_dag):
+        estimator = CATEEstimator(small_confounded, "Y", dag=confounded_dag)
+        interval = bootstrap_cate(estimator, Pattern.of(("T", "=", 1)),
+                                  n_resamples=40, seed=1)
+        assert interval.width > 0
+
+    def test_invalid_parameters(self, small_confounded, confounded_dag):
+        estimator = CATEEstimator(small_confounded, "Y", dag=confounded_dag)
+        with pytest.raises(ValueError):
+            bootstrap_cate(estimator, Pattern.of(("T", "=", 1)), n_resamples=3)
+        with pytest.raises(ValueError):
+            bootstrap_cate(estimator, Pattern.of(("T", "=", 1)), level=1.5)
+
+
+class TestBinning:
+    def test_quantile_edges_split_evenly(self):
+        values = np.arange(100, dtype=float)
+        edges = bin_edges(values, 4, "quantile")
+        assert len(edges) == 3
+        assert edges[1] == pytest.approx(49.5)
+
+    def test_width_edges(self):
+        values = np.array([0.0, 10.0])
+        assert bin_edges(values, 2, "width") == [5.0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            bin_edges(np.array([1.0]), 1)
+        with pytest.raises(ValueError):
+            bin_edges(np.array([1.0]), 3, "kmeans")
+
+    def test_bin_label_boundaries(self):
+        edges = [10.0, 20.0]
+        assert bin_label(5.0, edges) == "<= 10"
+        assert bin_label(15.0, edges) == "(10, 20]"
+        assert bin_label(25.0, edges) == "> 20"
+        assert bin_label(None, edges) is None
+
+    def test_discretize_column(self, so_bundle):
+        column = discretize_column(so_bundle.table, "Salary", n_bins=3)
+        assert not column.numeric
+        assert column.name == "Salary_bin"
+        assert 2 <= len(column.unique()) <= 3
+
+    def test_discretize_column_requires_numeric(self, so_bundle):
+        with pytest.raises(TypeError):
+            discretize_column(so_bundle.table, "Country")
+
+    def test_discretize_table_keep_and_drop(self, so_bundle):
+        kept = discretize(so_bundle.table, ["Salary"], n_bins=3)
+        assert "Salary" in kept and "Salary_bin" in kept
+        dropped = discretize(so_bundle.table, ["Salary"], n_bins=3,
+                             keep_original=False)
+        assert "Salary" not in dropped and "Salary_bin" in dropped
+        assert dropped.n_rows == so_bundle.table.n_rows
+
+    def test_binned_attribute_usable_as_treatment(self, so_bundle, confounded_dag):
+        """Binned continuous attributes can serve as equality treatments (Section 7)."""
+        table = discretize(so_bundle.table, ["Salary"], n_bins=3)
+        pattern = Pattern.of(("Salary_bin", "=", table.domain("Salary_bin")[0]))
+        assert 0 < pattern.support(table) < table.n_rows

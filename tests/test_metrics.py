@@ -1,0 +1,98 @@
+"""Unit tests for the evaluation metrics."""
+
+import pytest
+
+from repro.causal import EffectEstimate
+from repro.core import ExplanationPattern, ExplanationSummary
+from repro.dataframe import Pattern, Table
+from repro.metrics import (
+    grouping_accuracy,
+    kendall_tau,
+    summary_quality,
+    top_k_overlap,
+    treatment_accuracy,
+    tuple_set_precision_recall,
+)
+from repro.mining.grouping import GroupingPattern
+from repro.mining.treatments import TreatmentCandidate
+
+
+class TestPrecisionRecall:
+    def test_perfect_match(self):
+        assert tuple_set_precision_recall({1, 2}, {1, 2}) == (1.0, 1.0)
+
+    def test_partial_overlap(self):
+        precision, recall = tuple_set_precision_recall({1, 2, 3}, {2, 3, 4, 5})
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(0.5)
+
+    def test_empty_sets(self):
+        assert tuple_set_precision_recall(set(), set()) == (1.0, 1.0)
+        assert tuple_set_precision_recall(set(), {1}) == (0.0, 0.0)
+
+    def test_grouping_accuracy_on_table(self):
+        table = Table.from_columns({"x": ["a", "a", "b", "c"]})
+        predicted = [Pattern.of(("x", "=", "a"))]
+        truth = [Pattern.of(("x", "=", "a")), Pattern.of(("x", "=", "b"))]
+        result = grouping_accuracy(table, predicted, truth)
+        assert result["precision"] == 1.0
+        assert result["recall"] == pytest.approx(2 / 3)
+
+    def test_treatment_accuracy_pairs(self):
+        table = Table.from_columns({"x": ["a", "a", "b", "b"]})
+        result = treatment_accuracy(table,
+                                    [Pattern.of(("x", "=", "a"))],
+                                    [Pattern.of(("x", "=", "a"))])
+        assert result == {"precision": 1.0, "recall": 1.0}
+
+    def test_treatment_accuracy_length_mismatch(self):
+        table = Table.from_columns({"x": ["a"]})
+        with pytest.raises(ValueError):
+            treatment_accuracy(table, [Pattern()], [])
+
+
+class TestRanking:
+    def test_kendall_identical_rankings(self):
+        scores = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert kendall_tau(scores, scores) == pytest.approx(1.0)
+
+    def test_kendall_reversed_rankings(self):
+        a = {"a": 1.0, "b": 2.0, "c": 3.0}
+        b = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert kendall_tau(a, b) == pytest.approx(-1.0)
+
+    def test_kendall_ignores_non_shared_items(self):
+        a = {"a": 1.0, "b": 2.0, "z": 9.0}
+        b = {"a": 1.0, "b": 2.0, "y": -1.0}
+        assert kendall_tau(a, b) == pytest.approx(1.0)
+
+    def test_kendall_single_item(self):
+        assert kendall_tau({"a": 1.0}, {"a": 5.0}) == 1.0
+
+    def test_kendall_constant_ranking(self):
+        assert kendall_tau({"a": 1.0, "b": 2.0}, {"a": 3.0, "b": 3.0}) == 0.0
+
+    def test_top_k_overlap(self):
+        assert top_k_overlap(["a", "b", "c"], ["b", "a", "d"], k=2) == 1.0
+        assert top_k_overlap(["a", "b", "c"], ["c", "d", "e"], k=2) == 0.0
+        with pytest.raises(ValueError):
+            top_k_overlap(["a"], ["a"], k=0)
+
+
+class TestSummaryQuality:
+    def test_fields_present(self):
+        grouping = GroupingPattern(Pattern.of(("x", "=", 1)), frozenset([("g",)]))
+        candidate = TreatmentCandidate(Pattern.of(("t", "=", 1)),
+                                       EffectEstimate(2.0, 0.5, 0.01, 20, 20))
+        summary = ExplanationSummary([ExplanationPattern(grouping, candidate)],
+                                     (("g",), ("h",)), k=3, theta=0.5,
+                                     timings={"grouping_patterns": 0.1,
+                                              "treatment_patterns": 0.2,
+                                              "selection": 0.05},
+                                     n_candidates=4)
+        quality = summary_quality(summary)
+        assert quality["n_patterns"] == 1
+        assert quality["coverage"] == pytest.approx(0.5)
+        assert quality["total_explainability"] == pytest.approx(2.0)
+        assert quality["runtime_total"] == pytest.approx(0.35)
+        assert quality["satisfies_constraints"]

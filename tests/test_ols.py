@@ -1,0 +1,61 @@
+"""Unit tests for the OLS engine."""
+
+import numpy as np
+import pytest
+
+from repro.causal import ols_fit
+
+
+class TestOLSFit:
+    def test_recovers_known_coefficients(self):
+        rng = np.random.default_rng(0)
+        n = 500
+        x1 = rng.normal(size=n)
+        x2 = rng.normal(size=n)
+        y = 2.0 + 3.0 * x1 - 1.5 * x2 + rng.normal(scale=0.1, size=n)
+        design = np.column_stack([np.ones(n), x1, x2])
+        result = ols_fit(design, y, ["intercept", "x1", "x2"])
+        assert result.coefficient("intercept") == pytest.approx(2.0, abs=0.05)
+        assert result.coefficient("x1") == pytest.approx(3.0, abs=0.05)
+        assert result.coefficient("x2") == pytest.approx(-1.5, abs=0.05)
+        assert result.r_squared > 0.99
+
+    def test_p_value_significant_for_real_effect(self):
+        rng = np.random.default_rng(1)
+        n = 300
+        x = rng.normal(size=n)
+        y = 4.0 * x + rng.normal(size=n)
+        result = ols_fit(np.column_stack([np.ones(n), x]), y, ["c", "x"])
+        assert result.p_value("x") < 1e-6
+
+    def test_p_value_large_for_null_effect(self):
+        rng = np.random.default_rng(2)
+        n = 300
+        x = rng.normal(size=n)
+        y = rng.normal(size=n)  # independent of x
+        result = ols_fit(np.column_stack([np.ones(n), x]), y, ["c", "x"])
+        assert result.p_value("x") > 0.01
+
+    def test_collinear_design_does_not_fail(self):
+        rng = np.random.default_rng(3)
+        n = 100
+        x = rng.normal(size=n)
+        design = np.column_stack([np.ones(n), x, x])  # duplicated column
+        y = x + rng.normal(size=n)
+        result = ols_fit(design, y)
+        assert np.isfinite(result.coefficients).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ols_fit(np.zeros(10), np.zeros(10))
+        with pytest.raises(ValueError):
+            ols_fit(np.zeros((10, 2)), np.zeros(5))
+        with pytest.raises(ValueError):
+            ols_fit(np.zeros((10, 2)), np.zeros(10), ["only-one-name"])
+
+    def test_perfect_fit_has_zero_residual_r2_one(self):
+        x = np.arange(10, dtype=float)
+        design = np.column_stack([np.ones(10), x])
+        y = 1.0 + 2.0 * x
+        result = ols_fit(design, y)
+        assert result.r_squared == pytest.approx(1.0)

@@ -1,0 +1,146 @@
+"""Unit tests for the ILP model, LP relaxation, rounding, exact and greedy solvers."""
+
+import pytest
+
+from repro.optimize import (
+    CoverageILP,
+    greedy_selection,
+    randomized_rounding,
+    solve_exact,
+    solve_lp_relaxation,
+)
+
+
+class TestCoverageILP:
+    def test_required_groups(self, coverage_problem):
+        assert coverage_problem.m == 5
+        assert coverage_problem.required_groups == 4  # ceil(0.8 * 5)
+
+    def test_objective_and_coverage(self, coverage_problem):
+        assert coverage_problem.objective_of([0, 1]) == pytest.approx(18.0)
+        assert coverage_problem.covered_by([0, 1]) == frozenset(
+            ["g1", "g2", "g3", "g4"])
+
+    def test_feasibility_checks(self, coverage_problem):
+        assert coverage_problem.is_feasible([0, 1])          # 4 groups covered
+        assert not coverage_problem.is_feasible([0, 2])      # only 3 groups
+        assert not coverage_problem.is_feasible([0, 1, 2])   # size > k
+
+    def test_incomparability_enforced(self):
+        problem = CoverageILP([1.0, 2.0], [frozenset(["g1"]), frozenset(["g1"])],
+                              ["g1"], k=2, theta=1.0)
+        assert not problem.is_feasible([0, 1])
+        assert problem.is_feasible([1])
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            CoverageILP([1.0], [], ["g1"], k=1, theta=0.5)
+        with pytest.raises(ValueError):
+            CoverageILP([1.0], [frozenset()], ["g1"], k=1, theta=1.5)
+        with pytest.raises(ValueError):
+            CoverageILP([1.0], [frozenset()], ["g1"], k=-1, theta=0.5)
+
+    def test_coverage_clipped_to_universe(self):
+        problem = CoverageILP([1.0], [frozenset(["g1", "not-a-group"])], ["g1"],
+                              k=1, theta=1.0)
+        assert problem.coverage[0] == frozenset(["g1"])
+
+    def test_lp_arrays_shapes(self, coverage_problem):
+        arrays = coverage_problem.lp_arrays()
+        n_vars = coverage_problem.n_patterns + coverage_problem.m
+        assert arrays["A_ub"].shape == (1 + coverage_problem.m + 1, n_vars)
+        assert len(arrays["bounds"]) == n_vars
+
+
+class TestLPRelaxation:
+    def test_feasible_problem(self, coverage_problem):
+        lp = solve_lp_relaxation(coverage_problem)
+        assert lp.feasible
+        # The LP objective upper-bounds every integral solution.
+        exact = solve_exact(coverage_problem)
+        assert lp.objective >= exact.objective - 1e-6
+
+    def test_infeasible_problem(self):
+        problem = CoverageILP([1.0], [frozenset(["g1"])], ["g1", "g2"], k=1, theta=1.0)
+        lp = solve_lp_relaxation(problem)
+        assert not lp.feasible
+
+    def test_empty_candidates(self):
+        problem = CoverageILP([], [], ["g1"], k=1, theta=1.0)
+        lp = solve_lp_relaxation(problem)
+        assert not lp.feasible
+
+
+class TestRandomizedRounding:
+    def test_returns_feasible_selection(self, coverage_problem):
+        selection = randomized_rounding(coverage_problem, seed=0)
+        assert selection is not None
+        assert selection.feasible
+        assert selection.size <= coverage_problem.k
+
+    def test_infeasible_lp_returns_none(self):
+        problem = CoverageILP([1.0], [frozenset(["g1"])], ["g1", "g2"], k=1, theta=1.0)
+        assert randomized_rounding(problem) is None
+
+    def test_deterministic_for_fixed_seed(self, coverage_problem):
+        a = randomized_rounding(coverage_problem, seed=5)
+        b = randomized_rounding(coverage_problem, seed=5)
+        assert a.chosen == b.chosen
+
+    def test_respects_incomparability(self):
+        problem = CoverageILP([5.0, 4.0, 3.0],
+                              [frozenset(["g1"]), frozenset(["g1"]), frozenset(["g2"])],
+                              ["g1", "g2"], k=2, theta=1.0)
+        selection = randomized_rounding(problem, seed=1)
+        coverages = [problem.coverage[j] for j in selection.chosen]
+        assert len(coverages) == len(set(coverages))
+
+
+class TestExactSolver:
+    def test_optimum_on_small_instance(self, coverage_problem):
+        best = solve_exact(coverage_problem)
+        # Optimal feasible pair is {0, 1}: weight 18, covers 4 groups.
+        assert set(best.chosen) == {0, 1}
+        assert best.objective == pytest.approx(18.0)
+
+    def test_enumeration_agrees_with_branch_and_bound(self, coverage_problem):
+        assert solve_exact(coverage_problem, "enumerate").objective == pytest.approx(
+            solve_exact(coverage_problem, "branch_and_bound").objective)
+
+    def test_infeasible_returns_none(self):
+        problem = CoverageILP([1.0], [frozenset(["g1"])], ["g1", "g2"], k=1, theta=1.0)
+        assert solve_exact(problem) is None
+
+    def test_unknown_method_rejected(self, coverage_problem):
+        with pytest.raises(ValueError):
+            solve_exact(coverage_problem, "simulated-annealing")
+
+    def test_exact_at_least_as_good_as_rounding(self, coverage_problem):
+        exact = solve_exact(coverage_problem)
+        rounded = randomized_rounding(coverage_problem, seed=0)
+        assert exact.objective >= rounded.objective - 1e-9
+
+
+class TestGreedy:
+    def test_respects_size_constraint(self, coverage_problem):
+        selection = greedy_selection(coverage_problem)
+        assert selection.size <= coverage_problem.k
+
+    def test_greedy_never_duplicates_coverage(self):
+        problem = CoverageILP([5.0, 5.0, 1.0],
+                              [frozenset(["g1"]), frozenset(["g1"]), frozenset(["g2"])],
+                              ["g1", "g2"], k=3, theta=0.0)
+        selection = greedy_selection(problem)
+        coverages = [problem.coverage[j] for j in selection.chosen]
+        assert len(coverages) == len(set(coverages))
+
+    def test_greedy_may_miss_coverage_constraint(self):
+        # Greedy prefers the heavy pattern and can end up below theta when k=1.
+        problem = CoverageILP([100.0, 1.0, 1.0],
+                              [frozenset(["g1"]),
+                               frozenset(["g2"]),
+                               frozenset(["g3"])],
+                              ["g1", "g2", "g3"], k=1, theta=1.0)
+        selection = greedy_selection(problem)
+        assert not selection.feasible
+        assert selection.chosen == (0,)

@@ -1,0 +1,119 @@
+"""Unit tests for predicates and conjunctive patterns (Definition 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Op, Pattern, Predicate, Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns({
+        "city": ["Boston", "Miami", "Boston", "Denver"],
+        "temp": [30.0, 85.0, None, 55.0],
+        "snow": ["yes", "no", "yes", "no"],
+    })
+
+
+class TestOp:
+    def test_parse_aliases(self):
+        assert Op.parse("=") is Op.EQ
+        assert Op.parse("==") is Op.EQ
+        assert Op.parse("<>") is Op.NE
+        assert Op.parse("<=") is Op.LE
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            Op.parse("~=")
+
+
+class TestPredicate:
+    def test_equality_on_categorical(self, table):
+        mask = Predicate("city", Op.EQ, "Boston").evaluate(table)
+        assert list(mask) == [True, False, True, False]
+
+    def test_inequality_on_numeric(self, table):
+        mask = Predicate("temp", Op.LT, 60).evaluate(table)
+        assert list(mask) == [True, False, False, True]
+
+    def test_missing_values_never_match(self, table):
+        mask = Predicate("temp", Op.GT, 0).evaluate(table)
+        assert list(mask) == [True, True, False, True]
+
+    def test_not_equal(self, table):
+        mask = Predicate("snow", "!=", "yes").evaluate(table)
+        assert list(mask) == [False, True, False, True]
+
+    def test_ordered_comparison_on_strings(self, table):
+        mask = Predicate("city", Op.LE, "Boston").evaluate(table)
+        assert list(mask) == [True, False, True, False]
+
+    def test_evaluate_value_scalar(self):
+        predicate = Predicate("x", Op.GE, 10)
+        assert predicate.evaluate_value(12)
+        assert not predicate.evaluate_value(9)
+        assert not predicate.evaluate_value(None)
+
+    def test_hash_and_equality(self):
+        assert Predicate("a", "=", 1) == Predicate("a", "==", 1)
+        assert len({Predicate("a", "=", 1), Predicate("a", "=", 1)}) == 1
+
+    def test_op_string_accepted(self, table):
+        mask = Predicate("temp", ">=", 55).evaluate(table)
+        assert list(mask) == [False, True, False, True]
+
+
+class TestPattern:
+    def test_empty_pattern_matches_all(self, table):
+        assert Pattern().evaluate(table).all()
+        assert Pattern().support(table) == table.n_rows
+
+    def test_conjunction(self, table):
+        pattern = Pattern.of(("city", "=", "Boston"), ("snow", "=", "yes"))
+        assert list(pattern.evaluate(table)) == [True, False, True, False]
+
+    def test_equalities_constructor(self, table):
+        pattern = Pattern.equalities({"city": "Miami", "snow": "no"})
+        assert pattern.support(table) == 1
+
+    def test_duplicate_predicates_are_removed(self):
+        p = Predicate("a", "=", 1)
+        assert len(Pattern([p, p])) == 1
+
+    def test_extend(self, table):
+        base = Pattern.of(("city", "=", "Boston"))
+        extended = base.extend(Predicate("snow", Op.EQ, "yes"))
+        assert len(extended) == 2
+        assert len(base) == 1  # immutable
+
+    def test_attributes_property(self):
+        pattern = Pattern.of(("b", "=", 1), ("a", "=", 2))
+        assert pattern.attributes == ("a", "b")
+
+    def test_pattern_equality_is_order_insensitive(self):
+        p1 = Pattern.of(("a", "=", 1), ("b", "=", 2))
+        p2 = Pattern.of(("b", "=", 2), ("a", "=", 1))
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+    def test_evaluate_row(self):
+        pattern = Pattern.of(("a", "=", 1), ("b", ">", 5))
+        assert pattern.evaluate_row({"a": 1, "b": 10})
+        assert not pattern.evaluate_row({"a": 1, "b": 2})
+        assert not pattern.evaluate_row({"a": 2, "b": 10})
+        assert not pattern.evaluate_row({"a": 1})
+
+    def test_conflicts_with(self):
+        p1 = Pattern.of(("a", "=", 1))
+        p2 = Pattern.of(("a", "=", 2), ("b", "=", 3))
+        p3 = Pattern.of(("b", "=", 3))
+        assert p1.conflicts_with(p2)
+        assert not p1.conflicts_with(p3)
+
+    def test_support_counts_matching_rows(self, table):
+        assert Pattern.of(("snow", "=", "yes")).support(table) == 2
+
+    def test_mask_is_boolean_numpy_array(self, table):
+        mask = Pattern.of(("city", "=", "Denver")).evaluate(table)
+        assert isinstance(mask, np.ndarray)
+        assert mask.dtype == bool

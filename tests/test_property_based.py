@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dataframe import Column, Op, Pattern, Predicate, Table, fd_holds
+from repro.graph import CausalDAG, d_separated
+from repro.optimize import CoverageILP, greedy_selection, randomized_rounding, solve_exact
+
+
+# --------------------------------------------------------------------------- strategies
+
+values = st.one_of(st.integers(-5, 5), st.sampled_from(["a", "b", "c"]))
+categorical_lists = st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=40)
+numeric_lists = st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=40)
+
+
+@st.composite
+def small_tables(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    g = draw(st.lists(st.sampled_from(["x", "y", "z"]), min_size=n, max_size=n))
+    w = [v.upper() for v in g]  # functionally determined by g
+    t = draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    y = draw(st.lists(st.floats(-10, 10, allow_nan=False), min_size=n, max_size=n))
+    return Table([
+        Column("g", g, numeric=False),
+        Column("w", w, numeric=False),
+        Column("t", [int(v) for v in t], numeric=False),
+        Column("y", [float(v) for v in y], numeric=True),
+    ])
+
+
+@st.composite
+def coverage_problems(draw):
+    m = draw(st.integers(min_value=1, max_value=6))
+    groups = [f"g{i}" for i in range(m)]
+    l = draw(st.integers(min_value=1, max_value=6))
+    coverage = [frozenset(draw(st.lists(st.sampled_from(groups), max_size=m)))
+                for _ in range(l)]
+    weights = draw(st.lists(st.floats(0, 100, allow_nan=False), min_size=l, max_size=l))
+    k = draw(st.integers(min_value=1, max_value=l))
+    theta = draw(st.floats(0.0, 1.0))
+    return CoverageILP(weights, coverage, groups, k=k, theta=theta)
+
+
+# --------------------------------------------------------------------------- dataframe
+
+@given(data=categorical_lists)
+def test_column_unique_is_sorted_and_deduplicated(data):
+    unique = Column("x", data).unique()
+    assert unique == sorted(set(data))
+
+
+@given(data=numeric_lists)
+def test_column_value_counts_sum_to_length(data):
+    counts = Column("x", data).value_counts()
+    assert sum(counts.values()) == len(data)
+
+
+@given(table=small_tables(), value=st.integers(0, 3))
+@settings(max_examples=50)
+def test_select_returns_only_matching_rows(table, value):
+    pattern = Pattern.of(("t", "=", value))
+    selected = table.select(pattern)
+    assert selected.n_rows == pattern.support(table)
+    if selected.n_rows:
+        assert all(v == value for v in selected.column("t").values)
+
+
+@given(table=small_tables())
+@settings(max_examples=50)
+def test_pattern_conjunction_is_intersection(table):
+    p1 = Predicate("g", Op.EQ, "x")
+    p2 = Predicate("t", Op.GE, 2)
+    conjunction = Pattern([p1, p2]).evaluate(table)
+    assert (conjunction == (p1.evaluate(table) & p2.evaluate(table))).all()
+
+
+@given(table=small_tables())
+@settings(max_examples=50)
+def test_empty_pattern_support_is_table_size(table):
+    assert Pattern().support(table) == table.n_rows
+
+
+@given(table=small_tables())
+@settings(max_examples=50)
+def test_constructed_fd_always_detected(table):
+    assert fd_holds(table, ["g"], "w")
+
+
+@given(table=small_tables())
+@settings(max_examples=30)
+def test_groupby_avg_partitions_all_rows(table):
+    results = table.groupby_avg(["g"], "y")
+    assert sum(count for _, _, count in results) == table.n_rows
+
+
+@given(table=small_tables())
+@settings(max_examples=30)
+def test_groupby_avg_matches_manual_average(table):
+    for key, avg, _ in table.groupby_avg(["g"], "y"):
+        manual = table.select(Pattern.of(("g", "=", key[0]))).avg("y")
+        assert np.isclose(avg, manual)
+
+
+@given(table=small_tables(), seed=st.integers(0, 100))
+@settings(max_examples=30)
+def test_sample_never_exceeds_requested_size(table, seed):
+    sampled = table.sample(5, seed=seed)
+    assert sampled.n_rows <= max(5, table.n_rows if table.n_rows <= 5 else 5)
+    assert sampled.attributes == table.attributes
+
+
+# --------------------------------------------------------------------------- graphs
+
+@given(edges=st.lists(st.tuples(st.sampled_from("ABCDE"), st.sampled_from("ABCDE")),
+                      max_size=10))
+@settings(max_examples=100)
+def test_dag_construction_never_creates_cycles(edges):
+    dag = CausalDAG("ABCDE")
+    for parent, child in edges:
+        if parent == child:
+            continue
+        try:
+            dag.add_edge(parent, child)
+        except ValueError:
+            continue
+    order = {node: i for i, node in enumerate(dag.topological_order())}
+    assert all(order[p] < order[c] for p, c in dag.edges)
+
+
+@given(edges=st.lists(st.tuples(st.sampled_from("ABCD"), st.sampled_from("ABCD")),
+                      max_size=8))
+@settings(max_examples=60)
+def test_dsep_is_symmetric(edges):
+    dag = CausalDAG("ABCD")
+    for parent, child in edges:
+        if parent == child:
+            continue
+        try:
+            dag.add_edge(parent, child)
+        except ValueError:
+            continue
+    assert d_separated(dag, "A", "B", ["C"]) == d_separated(dag, "B", "A", ["C"])
+
+
+# --------------------------------------------------------------------------- optimisation
+
+@given(problem=coverage_problems())
+@settings(max_examples=60, deadline=None)
+def test_exact_solution_respects_all_constraints(problem):
+    selection = solve_exact(problem)
+    if selection is not None:
+        assert selection.size <= problem.k
+        assert len(selection.covered_groups) >= problem.required_groups
+        assert selection.feasible
+
+
+@given(problem=coverage_problems())
+@settings(max_examples=60, deadline=None)
+def test_exact_dominates_greedy_objective(problem):
+    exact = solve_exact(problem)
+    greedy = greedy_selection(problem)
+    if exact is not None and greedy.feasible:
+        assert exact.objective >= greedy.objective - 1e-9
+
+
+@given(problem=coverage_problems(), seed=st.integers(0, 50))
+@settings(max_examples=40, deadline=None)
+def test_rounding_never_exceeds_k(problem, seed):
+    selection = randomized_rounding(problem, seed=seed)
+    if selection is not None:
+        assert selection.size <= problem.k
+
+
+@given(problem=coverage_problems())
+@settings(max_examples=40, deadline=None)
+def test_exact_none_implies_rounding_infeasible_or_none(problem):
+    """If no exact feasible solution exists the rounding result is never feasible."""
+    if solve_exact(problem) is None:
+        rounded = randomized_rounding(problem, seed=0)
+        assert rounded is None or not rounded.feasible

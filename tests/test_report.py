@@ -1,0 +1,51 @@
+"""Tests for the benchmark-results report generator."""
+
+import json
+
+from repro.experiments.report import build_report, load_results, write_report
+
+
+def _write_payload(directory, name, rows, **extra):
+    payload = {"benchmark": name, "rows": rows, **extra}
+    (directory / f"{name}.json").write_text(json.dumps(payload))
+
+
+class TestLoadResults:
+    def test_missing_directory_returns_empty(self, tmp_path):
+        assert load_results(tmp_path / "nope") == []
+
+    def test_loads_all_payloads_sorted(self, tmp_path):
+        _write_payload(tmp_path, "b_second", [{"x": 2}])
+        _write_payload(tmp_path, "a_first", [{"x": 1}])
+        payloads = load_results(tmp_path)
+        assert [p["benchmark"] for p in payloads] == ["a_first", "b_second"]
+
+
+class TestBuildReport:
+    def test_empty_report_mentions_how_to_run(self, tmp_path):
+        text = build_report(tmp_path)
+        assert "pytest benchmarks/" in text
+
+    def test_rows_rendered_as_table(self, tmp_path):
+        _write_payload(tmp_path, "fig9", [{"k": 1, "coverage": 0.5},
+                                          {"k": 3, "coverage": 1.0}],
+                       paper_reference="Figure 9",
+                       expected_shape="coverage grows with k")
+        text = build_report(tmp_path, title="Results")
+        assert text.startswith("# Results")
+        assert "## fig9" in text
+        assert "Reproduces: Figure 9" in text
+        assert "coverage grows with k" in text
+        assert "| k | coverage |" in text
+        assert "| 3 | 1 |" in text
+
+    def test_heterogeneous_row_keys_merged(self, tmp_path):
+        _write_payload(tmp_path, "mixed", [{"a": 1}, {"b": 2.5}])
+        text = build_report(tmp_path)
+        assert "| a | b |" in text
+
+    def test_write_report_creates_file(self, tmp_path):
+        _write_payload(tmp_path, "fig1", [{"a": 1}])
+        out = write_report(tmp_path, tmp_path / "report.md")
+        assert out.exists()
+        assert "## fig1" in out.read_text()

@@ -1,0 +1,116 @@
+"""Unit tests for the query layer: parsing, validation, and view materialisation."""
+
+import pytest
+
+from repro.dataframe import Pattern
+from repro.sql import AggregateView, GroupByAvgQuery, parse_query
+
+
+class TestQueryConstruction:
+    def test_single_group_by_string(self):
+        query = GroupByAvgQuery(group_by="Country", average="Salary")
+        assert query.group_by == ("Country",)
+
+    def test_average_cannot_be_group_by(self):
+        with pytest.raises(ValueError):
+            GroupByAvgQuery(group_by=["Salary"], average="Salary")
+
+    def test_empty_group_by_rejected(self):
+        with pytest.raises(ValueError):
+            GroupByAvgQuery(group_by=[], average="Salary")
+
+    def test_validate_unknown_attribute(self, simple_table):
+        query = GroupByAvgQuery(group_by="Missing", average="Salary")
+        with pytest.raises(KeyError):
+            query.validate(simple_table)
+
+    def test_validate_non_numeric_average(self, simple_table):
+        query = GroupByAvgQuery(group_by="Country", average="Gender")
+        with pytest.raises(TypeError):
+            query.validate(simple_table)
+
+    def test_to_sql_round_trips_through_parser(self):
+        query = GroupByAvgQuery(group_by=["Country"], average="Salary",
+                                where=Pattern.of(("Age", ">", 25)), table_name="SO")
+        reparsed = parse_query(query.to_sql())
+        assert reparsed.group_by == query.group_by
+        assert reparsed.average == query.average
+        assert len(reparsed.where) == 1
+
+
+class TestParser:
+    def test_basic_query(self):
+        query = parse_query("SELECT Country, AVG(Salary) FROM SO GROUP BY Country")
+        assert query.group_by == ("Country",)
+        assert query.average == "Salary"
+        assert query.table_name == "SO"
+
+    def test_lowercase_keywords(self):
+        query = parse_query("select g, avg(y) from t group by g")
+        assert query.average == "y"
+
+    def test_multiple_group_by(self):
+        query = parse_query("SELECT a, b, AVG(y) FROM t GROUP BY a, b")
+        assert query.group_by == ("a", "b")
+
+    def test_where_clause(self):
+        query = parse_query(
+            "SELECT g, AVG(y) FROM t WHERE age > 30 AND country = 'US' GROUP BY g")
+        assert len(query.where) == 2
+        values = {p.attribute: p.value for p in query.where}
+        assert values["age"] == 30
+        assert values["country"] == "US"
+
+    def test_trailing_semicolon(self):
+        assert parse_query("SELECT g, AVG(y) FROM t GROUP BY g;").average == "y"
+
+    def test_missing_avg_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("SELECT g, SUM(y) FROM t GROUP BY g")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("DELETE FROM t")
+
+
+class TestAggregateView:
+    def test_groups_and_averages(self, small_view):
+        assert small_view.m == 3
+        us = small_view.group(("US",))
+        assert us.average == pytest.approx(131.5)
+        assert us.size == 2
+
+    def test_group_keys_sorted(self, small_view):
+        assert small_view.group_keys() == [("China",), ("India",), ("US",)]
+
+    def test_rows_of_group_and_group_table(self, small_view):
+        rows = small_view.rows_of_group(("India",))
+        assert len(rows) == 2
+        sub = small_view.group_table(("India",))
+        assert set(sub.column("Country").values) == {"India"}
+
+    def test_covered_groups_full_coverage(self, small_view):
+        covered = small_view.covered_groups(Pattern.of(("Continent", "=", "Asia")))
+        assert covered == frozenset({("India",), ("China",)})
+
+    def test_covered_groups_requires_all_tuples(self, small_view):
+        # Gender=Male does not hold for every tuple of any country.
+        covered = small_view.covered_groups(Pattern.of(("Gender", "=", "Male")))
+        assert covered == frozenset()
+
+    def test_empty_pattern_covers_everything(self, small_view):
+        assert small_view.covered_groups(Pattern()) == frozenset(small_view.group_keys())
+
+    def test_coverage_fraction(self, small_view):
+        assert small_view.coverage_fraction([("US",)]) == pytest.approx(1 / 3)
+
+    def test_where_filter_applied(self, simple_table):
+        query = GroupByAvgQuery(group_by="Country", average="Salary",
+                                where=Pattern.of(("Continent", "=", "Asia")))
+        view = AggregateView(simple_table, query)
+        assert view.m == 2
+
+    def test_as_rows(self, small_view):
+        rows = small_view.as_rows()
+        assert rows[0]["Country"] == "China"
+        assert "avg_Salary" in rows[0]

@@ -1,0 +1,163 @@
+"""Unit tests for the columnar Table."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Column, Pattern, Table
+
+
+class TestConstruction:
+    def test_from_rows(self, simple_table):
+        assert simple_table.n_rows == 6
+        assert simple_table.n_cols == 7
+        assert "Country" in simple_table
+
+    def test_from_columns_mapping(self):
+        table = Table.from_columns({"a": [1, 2], "b": ["x", "y"]})
+        assert table.attributes == ("a", "b")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Table([Column("a", [1, 2]), Column("b", [1])])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Table([Column("a", [1]), Column("a", [2])])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_from_rows_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Table.from_rows([])
+
+    def test_add_column(self):
+        table = Table.from_columns({"a": [1, 2]})
+        table.add_column(Column("b", ["x", "y"]))
+        assert "b" in table
+        with pytest.raises(ValueError):
+            table.add_column(Column("b", ["x", "y"]))
+        with pytest.raises(ValueError):
+            table.add_column(Column("c", ["only-one"]))
+
+
+class TestAccessors:
+    def test_column_lookup_and_error(self, simple_table):
+        assert simple_table.column("Salary").numeric
+        with pytest.raises(KeyError):
+            simple_table.column("Missing")
+
+    def test_domain(self, simple_table):
+        assert simple_table.domain("Country") == ["China", "India", "US"]
+
+    def test_row_and_iter_rows(self, simple_table):
+        row = simple_table.row(0)
+        assert row["Country"] == "US"
+        assert len(list(simple_table.iter_rows())) == 6
+
+    def test_head(self, simple_table):
+        assert len(simple_table.head(2)) == 2
+
+    def test_is_numeric(self, simple_table):
+        assert simple_table.is_numeric("Age")
+        assert not simple_table.is_numeric("Country")
+
+
+class TestRelationalOps:
+    def test_select_with_pattern(self, simple_table):
+        sub = simple_table.select(Pattern.of(("Continent", "=", "Asia")))
+        assert sub.n_rows == 4
+        assert set(sub.column("Country").values) == {"India", "China"}
+
+    def test_select_with_mask(self, simple_table):
+        mask = np.zeros(6, dtype=bool)
+        mask[0] = True
+        assert simple_table.select(mask).n_rows == 1
+
+    def test_select_wrong_mask_shape(self, simple_table):
+        with pytest.raises(ValueError):
+            simple_table.select(np.ones(3, dtype=bool))
+
+    def test_project_and_drop(self, simple_table):
+        projected = simple_table.project(["Country", "Salary"])
+        assert projected.attributes == ("Country", "Salary")
+        dropped = simple_table.drop(["Age"])
+        assert "Age" not in dropped.attributes
+
+    def test_take_preserves_order(self, simple_table):
+        taken = simple_table.take([2, 0])
+        assert taken.column("Country").values[0] == "India"
+        assert taken.column("Country").values[1] == "US"
+
+    def test_concat(self, simple_table):
+        doubled = simple_table.concat(simple_table)
+        assert doubled.n_rows == 12
+
+    def test_concat_schema_mismatch(self, simple_table):
+        other = simple_table.project(["Country", "Salary"])
+        with pytest.raises(ValueError):
+            simple_table.concat(other)
+
+    def test_equality(self, simple_table):
+        assert simple_table == simple_table.take(range(simple_table.n_rows))
+        assert simple_table != simple_table.take([0, 1, 2])
+
+
+class TestAggregation:
+    def test_groupby_avg(self, simple_table):
+        results = simple_table.groupby_avg(["Country"], "Salary")
+        as_dict = {key[0]: avg for key, avg, _ in results}
+        assert as_dict["US"] == pytest.approx((180.0 + 83.0) / 2)
+        assert as_dict["India"] == pytest.approx((24.0 + 7.5) / 2)
+
+    def test_groupby_avg_with_where(self, simple_table):
+        results = simple_table.groupby_avg(["Continent"], "Salary",
+                                           where=Pattern.of(("Gender", "=", "Male")))
+        as_dict = {key[0]: count for key, _, count in results}
+        assert as_dict == {"N. America": 1, "Asia": 2}
+
+    def test_groupby_multiple_attributes(self, simple_table):
+        results = simple_table.groupby_avg(["Continent", "Gender"], "Salary")
+        keys = [key for key, _, _ in results]
+        assert ("Asia", "Female") in keys
+
+    def test_group_indices(self, simple_table):
+        indices = simple_table.group_indices(["Country"])
+        assert sorted(indices[("US",)].tolist()) == [0, 1]
+
+    def test_avg(self, simple_table):
+        assert simple_table.avg("Age") == pytest.approx(np.mean([26, 32, 29, 25, 21, 41]))
+
+    def test_avg_non_numeric_raises(self, simple_table):
+        with pytest.raises(TypeError):
+            simple_table.avg("Country")
+
+    def test_groupby_avg_ignores_missing_outcome(self):
+        table = Table.from_columns({"g": ["a", "a"], "y": [1.0, None]})
+        results = table.groupby_avg(["g"], "y")
+        assert results[0][1] == pytest.approx(1.0)
+        assert results[0][2] == 2  # count still includes the missing-outcome row
+
+
+class TestSampling:
+    def test_sample_smaller(self, simple_table):
+        assert simple_table.sample(3, seed=0).n_rows == 3
+
+    def test_sample_larger_returns_self(self, simple_table):
+        assert simple_table.sample(100) is simple_table
+
+    def test_sample_deterministic_with_seed(self, simple_table):
+        a = simple_table.sample(3, seed=42)
+        b = simple_table.sample(3, seed=42)
+        assert a == b
+
+    def test_shuffle_preserves_multiset(self, simple_table):
+        shuffled = simple_table.shuffle(seed=1)
+        assert sorted(shuffled.column("Age").values) == sorted(
+            simple_table.column("Age").values)
+
+    def test_describe(self, simple_table):
+        stats = simple_table.describe()
+        assert stats["tuples"] == 6
+        assert stats["attributes"] == 7

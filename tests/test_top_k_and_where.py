@@ -1,0 +1,87 @@
+"""Tests for the top-k treatment API (Section 4.2 UI feature) and WHERE-clause queries."""
+
+import pytest
+
+from repro.causal import CATEEstimator
+from repro.core import CauSumX
+from repro.dataframe import Pattern
+from repro.mining import TreatmentMinerConfig, mine_top_k_treatments, mine_top_treatment
+from repro.sql import AggregateView, GroupByAvgQuery
+
+
+@pytest.fixture(scope="module")
+def estimator(synthetic_bundle):
+    return CATEEstimator(synthetic_bundle.table, "O", dag=synthetic_bundle.dag,
+                         min_group_size=5)
+
+
+@pytest.fixture(scope="module")
+def miner_config():
+    return TreatmentMinerConfig(max_levels=2, min_group_size=5,
+                                significance_level=1.0, keep_fraction=0.6)
+
+
+class TestTopK:
+    def test_returns_at_most_k(self, estimator, synthetic_bundle, miner_config):
+        top = mine_top_k_treatments(estimator, Pattern(),
+                                    synthetic_bundle.treatment_attributes, k=3,
+                                    direction="+", dag=synthetic_bundle.dag,
+                                    config=miner_config)
+        assert 1 <= len(top) <= 3
+
+    def test_sorted_descending_by_cate(self, estimator, synthetic_bundle, miner_config):
+        top = mine_top_k_treatments(estimator, Pattern(),
+                                    synthetic_bundle.treatment_attributes, k=5,
+                                    direction="+", dag=synthetic_bundle.dag,
+                                    config=miner_config)
+        cates = [c.cate for c in top]
+        assert cates == sorted(cates, reverse=True)
+        assert all(c > 0 for c in cates)
+
+    def test_negative_direction_sorted_ascending(self, estimator, synthetic_bundle,
+                                                 miner_config):
+        top = mine_top_k_treatments(estimator, Pattern(),
+                                    synthetic_bundle.treatment_attributes, k=5,
+                                    direction="-", dag=synthetic_bundle.dag,
+                                    config=miner_config)
+        cates = [c.cate for c in top]
+        assert cates == sorted(cates)
+        assert all(c < 0 for c in cates)
+
+    def test_top_1_matches_algorithm2(self, estimator, synthetic_bundle, miner_config):
+        top = mine_top_k_treatments(estimator, Pattern(),
+                                    synthetic_bundle.treatment_attributes, k=1,
+                                    direction="+", dag=synthetic_bundle.dag,
+                                    config=miner_config)
+        single = mine_top_treatment(estimator, Pattern(),
+                                    synthetic_bundle.treatment_attributes, "+",
+                                    synthetic_bundle.dag, miner_config)
+        assert top[0].cate == pytest.approx(single.cate)
+
+    def test_invalid_arguments(self, estimator, synthetic_bundle, miner_config):
+        with pytest.raises(ValueError):
+            mine_top_k_treatments(estimator, Pattern(),
+                                  synthetic_bundle.treatment_attributes, k=0)
+        with pytest.raises(ValueError):
+            mine_top_k_treatments(estimator, Pattern(),
+                                  synthetic_bundle.treatment_attributes, k=2,
+                                  direction="*")
+
+
+class TestWhereClause:
+    def test_view_respects_where(self, so_bundle):
+        query = GroupByAvgQuery(group_by="Country", average="Salary",
+                                where=Pattern.of(("Continent", "=", "Europe")))
+        view = AggregateView(so_bundle.table, query)
+        assert 0 < view.m < AggregateView(so_bundle.table, so_bundle.query).m
+
+    def test_causumx_explains_filtered_view(self, so_bundle, fast_config):
+        query = GroupByAvgQuery(group_by="Country", average="Salary",
+                                where=Pattern.of(("Continent", "=", "Europe")))
+        config = fast_config.with_overrides(k=2, theta=0.5)
+        summary = CauSumX(so_bundle.table, so_bundle.dag, config).explain(
+            query, grouping_attributes=so_bundle.grouping_attributes,
+            treatment_attributes=["Role", "Student", "AgeBand", "Education"])
+        view = AggregateView(so_bundle.table, query)
+        assert set(summary.all_groups) == set(view.group_keys())
+        assert len(summary) >= 1

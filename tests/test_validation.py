@@ -1,0 +1,100 @@
+"""Tests for the input-validation diagnostics."""
+
+import pytest
+
+from repro.core.validation import validate_inputs
+from repro.dataframe import Column, Table
+from repro.graph import CausalDAG
+from repro.sql import GroupByAvgQuery
+
+
+def _codes(report):
+    return {issue.code for issue in report.issues}
+
+
+class TestValidateInputs:
+    def test_clean_input_passes(self, so_bundle):
+        report = validate_inputs(so_bundle.table, so_bundle.query, so_bundle.dag)
+        assert report.ok()
+        assert "invalid-query" not in _codes(report)
+
+    def test_unknown_attribute_is_error(self, so_bundle):
+        query = GroupByAvgQuery(group_by="Nope", average="Salary")
+        report = validate_inputs(so_bundle.table, query, so_bundle.dag)
+        assert not report.ok()
+        assert "invalid-query" in _codes(report)
+
+    def test_non_numeric_outcome_is_error(self, so_bundle):
+        query = GroupByAvgQuery(group_by="Country", average="Gender")
+        report = validate_inputs(so_bundle.table, query, so_bundle.dag)
+        assert not report.ok()
+
+    def test_single_group_view_is_error(self):
+        table = Table.from_columns({"g": ["a", "a", "a"], "y": [1.0, 2.0, 3.0],
+                                    "t": ["x", "y", "x"]})
+        query = GroupByAvgQuery(group_by="g", average="y")
+        report = validate_inputs(table, query)
+        assert "degenerate-view" in _codes(report)
+        assert not report.ok()
+
+    def test_missing_dag_is_warning(self, so_bundle):
+        report = validate_inputs(so_bundle.table, so_bundle.query, dag=None)
+        assert report.ok()
+        assert "no-dag" in _codes(report)
+
+    def test_dag_attribute_coverage_warning(self, so_bundle):
+        partial_dag = CausalDAG.from_dict({"Salary": ["Role"], "Role": []})
+        report = validate_inputs(so_bundle.table, so_bundle.query, partial_dag)
+        assert "attributes-missing-from-dag" in _codes(report)
+
+    def test_outcome_without_parents_warning(self, so_bundle):
+        dag = CausalDAG(list(so_bundle.table.attributes))
+        report = validate_inputs(so_bundle.table, so_bundle.query, dag)
+        assert "outcome-has-no-parents" in _codes(report)
+
+    def test_dag_node_not_in_table_warning(self, so_bundle):
+        dag = so_bundle.dag.copy()
+        dag.add_edge("UnobservedThing", "Salary")
+        report = validate_inputs(so_bundle.table, so_bundle.query, dag)
+        assert "dag-nodes-missing-from-table" in _codes(report)
+
+    def test_duplicate_tuples_warning(self):
+        table = Table.from_columns({"g": ["a", "a", "b"], "t": [1, 1, 2],
+                                    "y": [1.0, 1.0, 2.0]})
+        query = GroupByAvgQuery(group_by="g", average="y")
+        report = validate_inputs(table, query)
+        assert "duplicate-tuples" in _codes(report)
+
+    def test_missing_outcome_warning(self):
+        table = Table([
+            Column("g", ["a", "a", "b", "b"], numeric=False),
+            Column("t", [1, 2, 1, 2], numeric=False),
+            Column("y", [1.0, None, 2.0, 3.0], numeric=True),
+        ])
+        query = GroupByAvgQuery(group_by="g", average="y")
+        report = validate_inputs(table, query)
+        assert "missing-outcome-values" in _codes(report)
+
+    def test_small_groups_warning(self, simple_table):
+        query = GroupByAvgQuery(group_by="Country", average="Salary")
+        report = validate_inputs(simple_table, query, min_group_size=10)
+        assert "small-groups" in _codes(report)
+
+    def test_no_grouping_attribute_warning(self):
+        table = Table.from_columns({"purpose": ["a", "b", "a", "b"],
+                                    "age": [20, 30, 40, 50],
+                                    "risk": [0.0, 1.0, 1.0, 0.0]})
+        query = GroupByAvgQuery(group_by="purpose", average="risk")
+        report = validate_inputs(table, query)
+        assert "no-grouping-attributes" in _codes(report)
+
+    def test_no_treatment_attributes_error(self):
+        table = Table.from_columns({"g": ["a", "b", "a", "b"], "y": [1.0, 2.0, 3.0, 4.0]})
+        query = GroupByAvgQuery(group_by="g", average="y")
+        report = validate_inputs(table, query)
+        assert "no-treatment-attributes" in _codes(report)
+        assert not report.ok()
+
+    def test_errors_and_warnings_partition(self, so_bundle):
+        report = validate_inputs(so_bundle.table, so_bundle.query, dag=None)
+        assert set(report.errors) | set(report.warnings) == set(report.issues)
