@@ -24,7 +24,17 @@ from repro.core import (
     greedy_last_step,
     render_summary,
 )
-from repro.dataframe import Column, Op, Pattern, Predicate, Table, read_csv, write_csv
+from repro.dataframe import (
+    CacheStats,
+    Column,
+    MaskCache,
+    Op,
+    Pattern,
+    Predicate,
+    Table,
+    read_csv,
+    write_csv,
+)
 from repro.datasets import DatasetBundle, list_datasets, load_dataset
 from repro.graph import CausalDAG
 from repro.causal import CATEEstimator, EffectEstimate, estimate_ate, estimate_cate
@@ -41,7 +51,9 @@ __all__ = [
     "brute_force_lp",
     "greedy_last_step",
     "render_summary",
+    "CacheStats",
     "Column",
+    "MaskCache",
     "Op",
     "Pattern",
     "Predicate",

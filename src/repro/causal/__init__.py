@@ -3,6 +3,7 @@
 from repro.causal.effects import EffectEstimate
 from repro.causal.ols import OLSResult, ols_fit
 from repro.causal.estimators import (
+    BoundSubpopulation,
     CATEEstimator,
     naive_difference_in_means,
     estimate_ate,
@@ -20,6 +21,7 @@ __all__ = [
     "EffectEstimate",
     "OLSResult",
     "ols_fit",
+    "BoundSubpopulation",
     "CATEEstimator",
     "naive_difference_in_means",
     "estimate_ate",

@@ -9,6 +9,8 @@ is reported alongside.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Sequence
 
 import numpy as np
@@ -16,7 +18,7 @@ import numpy as np
 from repro.causal.assumptions import check_positivity
 from repro.causal.effects import EffectEstimate
 from repro.causal.ols import ols_fit
-from repro.dataframe import Pattern, Table, design_matrix
+from repro.dataframe import MaskCache, Pattern, Table, design_matrix
 from repro.graph import CausalDAG, backdoor_adjustment_set, parents_adjustment_set
 
 
@@ -69,11 +71,21 @@ class CATEEstimator:
         estimate; below this the estimate is reported as undefined.
     seed:
         Random seed for the sampling optimisation.
+    use_cache:
+        Enable the shared pattern-evaluation engine: predicate masks are
+        memoized in a :class:`~repro.dataframe.MaskCache` and sub-populations
+        are *bound* once (selection, sampling, missing-outcome filtering, and
+        design-matrix encoding are computed a single time) and reused for every
+        treatment candidate.  Results are numerically identical with the cache
+        on or off; the cache only removes redundant recomputation.
+    bound_cache_size:
+        Maximum number of bound sub-populations kept alive at once (LRU).
     """
 
     def __init__(self, table: Table, outcome: str, dag: CausalDAG | None = None,
                  adjustment: str = "parents", sample_size: int | None = None,
-                 min_group_size: int = 10, seed: int = 0):
+                 min_group_size: int = 10, seed: int = 0,
+                 use_cache: bool = True, bound_cache_size: int = 64):
         if adjustment not in {"parents", "minimal", "none"}:
             raise ValueError(f"unknown adjustment strategy {adjustment!r}")
         self.table = table
@@ -83,15 +95,22 @@ class CATEEstimator:
         self.sample_size = sample_size
         self.min_group_size = min_group_size
         self.seed = seed
+        self.use_cache = use_cache
+        self.bound_cache_size = bound_cache_size
+        self.mask_cache: MaskCache | None = MaskCache(table) if use_cache else None
         self._adjustment_cache: dict[tuple[str, ...], tuple[str, ...]] = {}
+        self._adjustment_lock = threading.Lock()
+        self._bound: OrderedDict[tuple, BoundSubpopulation] = OrderedDict()
+        self._bound_lock = threading.Lock()
 
     # ------------------------------------------------------------------ adjustment sets
 
     def adjustment_set(self, treatment_attributes: Sequence[str]) -> list[str]:
         """Confounders ``Z`` to adjust for, given the treatment attributes."""
         key = tuple(sorted(treatment_attributes))
-        if key in self._adjustment_cache:
-            return list(self._adjustment_cache[key])
+        with self._adjustment_lock:
+            if key in self._adjustment_cache:
+                return list(self._adjustment_cache[key])
         if self.dag is None or self.adjustment == "none":
             result: list[str] = []
         elif self.adjustment == "parents":
@@ -102,8 +121,38 @@ class CATEEstimator:
                 self.dag, list(key), self.outcome)
         result = [a for a in result if a in self.table and a != self.outcome
                   and a not in key]
-        self._adjustment_cache[key] = tuple(result)
+        with self._adjustment_lock:
+            self._adjustment_cache[key] = tuple(result)
         return result
+
+    # ------------------------------------------------------------------ binding
+
+    def bind(self, subpopulation: Pattern | None = None) -> "BoundSubpopulation":
+        """Prepare a sub-population once so many treatments can be estimated cheaply.
+
+        Selection of the sub-population, the sampling optimisation, and the
+        missing-outcome filtering are performed a single time; every subsequent
+        :meth:`BoundSubpopulation.estimate` call only evaluates the treatment
+        mask (through the shared :class:`MaskCache` when enabled) and runs the
+        regression.  Bound sub-populations are memoized per pattern in a small
+        LRU so repeated lattice levels of the same grouping pattern reuse one
+        binding.
+        """
+        key = () if subpopulation is None else subpopulation.predicates
+        with self._bound_lock:
+            bound = self._bound.get(key)
+            if bound is not None:
+                self._bound.move_to_end(key)
+                return bound
+        bound = BoundSubpopulation(self, subpopulation)
+        with self._bound_lock:
+            existing = self._bound.get(key)
+            if existing is not None:
+                return existing
+            self._bound[key] = bound
+            while len(self._bound) > self.bound_cache_size:
+                self._bound.popitem(last=False)
+        return bound
 
     # ------------------------------------------------------------------ estimation
 
@@ -115,6 +164,8 @@ class CATEEstimator:
         and control (pattern does not hold) units; the effect is the adjusted
         difference in expected outcome (Eq. 5) estimated by linear regression.
         """
+        if self.use_cache:
+            return self.bind(subpopulation).estimate(treatment, extra_adjustment)
         base = self.table if subpopulation is None or subpopulation.is_empty() \
             else self.table.select(subpopulation)
         if self.sample_size is not None and base.n_rows > self.sample_size:
@@ -164,8 +215,132 @@ class CATEEstimator:
 
     def estimate_many(self, treatments: Sequence[Pattern],
                       subpopulation: Pattern | None = None) -> list[EffectEstimate]:
-        """Estimate CATE for a batch of candidate treatment patterns."""
-        return [self.estimate(t, subpopulation) for t in treatments]
+        """Estimate CATE for a batch of candidate treatment patterns.
+
+        With the cache enabled the sub-population is bound once and every
+        treatment of the batch reuses the binding (one selection + one design
+        matrix per adjustment set instead of one per treatment).
+        """
+        if not self.use_cache:
+            return [self.estimate(t, subpopulation) for t in treatments]
+        bound = self.bind(subpopulation)
+        return [bound.estimate(t) for t in treatments]
+
+    def cache_stats(self):
+        """Statistics of the shared mask cache (``None`` when caching is off)."""
+        return self.mask_cache.stats() if self.mask_cache is not None else None
+
+
+class BoundSubpopulation:
+    """A sub-population of a :class:`CATEEstimator`, prepared for batch estimation.
+
+    Construction performs all treatment-independent work of
+    :meth:`CATEEstimator.estimate` exactly once: evaluating the sub-population
+    pattern, applying the sampling optimisation, and dropping tuples with a
+    missing outcome.  Per adjustment-attribute tuple the confounder design
+    matrix is also computed once and memoized — within one sub-population every
+    treatment over the same attributes shares it verbatim, so the regression
+    inputs (and therefore the estimates) are bitwise identical to the unbound
+    path.
+    """
+
+    def __init__(self, estimator: CATEEstimator, subpopulation: Pattern | None):
+        self.estimator = estimator
+        self.subpopulation = subpopulation
+        table = estimator.table
+        cache = estimator.mask_cache
+        if subpopulation is None or subpopulation.is_empty():
+            indices = np.arange(table.n_rows, dtype=np.int64)
+            base = table
+        else:
+            mask = cache.pattern_mask(subpopulation) if cache is not None \
+                else subpopulation.evaluate(table)
+            indices = np.nonzero(mask)[0]
+            base = table.take(indices)
+        if estimator.sample_size is not None and base.n_rows > estimator.sample_size:
+            rng = np.random.default_rng(estimator.seed)
+            chosen = np.sort(rng.choice(base.n_rows, size=estimator.sample_size,
+                                        replace=False))
+            base = base.take(chosen)
+            indices = indices[chosen]
+        if base.n_rows:
+            outcome_values = base.column(estimator.outcome).values.astype(np.float64)
+            valid = ~np.isnan(outcome_values)
+            if not valid.all():
+                keep = np.nonzero(valid)[0]
+                base = base.take(keep)
+                indices = indices[keep]
+                outcome_values = outcome_values[keep]
+        else:
+            outcome_values = np.empty(0, dtype=np.float64)
+        self.base = base
+        self.indices = indices
+        self.outcome_values = outcome_values
+        self._identity = base is table  # binding covers the whole table unchanged
+        self._domain_sizes: dict[str, int] = {}
+        self._design_cache: dict[tuple[str, ...], tuple[np.ndarray, list[str]]] = {}
+
+    @property
+    def n_rows(self) -> int:
+        return self.base.n_rows
+
+    def treated_mask(self, treatment: Pattern) -> np.ndarray:
+        """Boolean treatment mask over the bound (filtered) rows."""
+        cache = self.estimator.mask_cache
+        if cache is not None:
+            mask = cache.pattern_mask(treatment)
+            return mask if self._identity else mask[self.indices]
+        return treatment.evaluate(self.base)
+
+    def _domain_size(self, attribute: str) -> int:
+        size = self._domain_sizes.get(attribute)
+        if size is None:
+            size = len(self.base.domain(attribute))
+            self._domain_sizes[attribute] = size
+        return size
+
+    def _confounders(self, attributes: tuple[str, ...]) -> tuple[np.ndarray, list[str]]:
+        entry = self._design_cache.get(attributes)
+        if entry is None:
+            entry = design_matrix(self.base, list(attributes))
+            self._design_cache[attributes] = entry
+        return entry
+
+    def estimate(self, treatment: Pattern,
+                 extra_adjustment: Sequence[str] = ()) -> EffectEstimate:
+        """Estimate the CATE of one treatment within the bound sub-population."""
+        if self.base.n_rows == 0:
+            return EffectEstimate.undefined()
+        estimator = self.estimator
+        treated = self.treated_mask(treatment)
+        n_treated = int(treated.sum())
+        n_control = int(self.base.n_rows - n_treated)
+        if not check_positivity(treated, estimator.min_group_size):
+            return EffectEstimate.undefined(n_treated, n_control)
+
+        adjustment_attrs = list(estimator.adjustment_set(treatment.attributes))
+        for attr in extra_adjustment:
+            if attr not in adjustment_attrs and attr in self.base \
+                    and attr != estimator.outcome:
+                adjustment_attrs.append(attr)
+        adjustment_attrs = [a for a in adjustment_attrs if self._domain_size(a) > 1]
+
+        confounders, confounder_names = self._confounders(tuple(adjustment_attrs))
+        design = np.hstack([
+            np.ones((self.base.n_rows, 1)),
+            treated.astype(np.float64).reshape(-1, 1),
+            confounders,
+        ])
+        names = ["intercept", "__treatment__", *confounder_names]
+        result = ols_fit(design, self.outcome_values, names)
+        return EffectEstimate(
+            value=result.coefficient("__treatment__"),
+            std_error=result.std_error("__treatment__"),
+            p_value=result.p_value("__treatment__"),
+            n_treated=n_treated,
+            n_control=n_control,
+            estimator="linear_regression",
+        )
 
 
 def estimate_ate(table: Table, treatment: Pattern, outcome: str,

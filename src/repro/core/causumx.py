@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from itertools import combinations
 from typing import Sequence
 
@@ -164,15 +166,37 @@ class CauSumX:
             sample_size=self.config.sample_size,
             min_group_size=self.config.min_group_size,
             seed=self.config.seed,
+            use_cache=self.config.use_mask_cache,
         )
+
+    def _resolved_n_jobs(self) -> int:
+        n_jobs = self.config.n_jobs
+        if n_jobs == -1:
+            return max(os.cpu_count() or 1, 1)
+        return n_jobs
 
     def _mine_candidates(self, estimator: CATEEstimator,
                          groupings: Sequence[GroupingPattern],
                          treatment_attrs: Sequence[str]) -> list[ExplanationPattern]:
+        """Mine the best treatments for every grouping pattern (step 2).
+
+        Grouping patterns are independent, so with ``config.n_jobs > 1`` they
+        are mined concurrently by a thread pool sharing one estimator (and
+        therefore one mask cache).  The output order follows ``groupings``
+        regardless of the number of workers.
+        """
+        def mine(grouping: GroupingPattern):
+            return self._treatments_for(estimator, grouping, treatment_attrs)
+
+        n_jobs = self._resolved_n_jobs()
+        if n_jobs > 1 and len(groupings) > 1:
+            with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+                mined = list(pool.map(mine, groupings))
+        else:
+            mined = [mine(grouping) for grouping in groupings]
+
         candidates = []
-        for grouping in groupings:
-            positive, negative = self._treatments_for(estimator, grouping,
-                                                      treatment_attrs)
+        for grouping, (positive, negative) in zip(groupings, mined):
             candidate = ExplanationPattern(grouping, positive, negative)
             if candidate.has_treatment():
                 candidates.append(candidate)
@@ -205,6 +229,8 @@ class CauSumX:
             estimator.table, list(treatment_attrs),
             max_values_per_attribute=cfg.treatment.max_values_per_attribute,
             numeric_bins=cfg.treatment.numeric_bins,
+            mask_cache=estimator.mask_cache,
+            min_support=estimator.min_group_size,
         )
         level = lattice.level_one()
         best_positive: TreatmentCandidate | None = None
@@ -213,11 +239,10 @@ class CauSumX:
         evaluated: set[Pattern] = set()
         while level and depth < cfg.treatment.max_levels:
             valid_patterns = []
-            for pattern in level:
-                if pattern in evaluated:
-                    continue
-                evaluated.add(pattern)
-                estimate = estimator.estimate(pattern, grouping.pattern)
+            fresh = [p for p in level if p not in evaluated]
+            evaluated.update(fresh)
+            estimates = estimator.estimate_many(fresh, grouping.pattern)
+            for pattern, estimate in zip(fresh, estimates):
                 if not estimate.is_valid():
                     continue
                 valid_patterns.append(pattern)

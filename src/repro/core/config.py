@@ -41,6 +41,20 @@ class CauSumXConfig:
         grouping attributes exist (German-style datasets).
     treatment:
         Configuration of the Algorithm 2 lattice search.
+    use_mask_cache:
+        Enable the shared pattern-evaluation engine
+        (:class:`repro.dataframe.MaskCache`): predicate masks are memoized per
+        table and every grouping pattern's sub-population is bound once and
+        reused for all of its treatment candidates.  Explanation summaries are
+        identical with the cache on or off — the cache only removes redundant
+        recomputation (see ``benchmarks/bench_mask_cache.py``).  Default on.
+    n_jobs:
+        Number of worker threads used to mine treatment patterns for
+        independent grouping patterns concurrently during step 2.  ``1``
+        (the default) mines serially; ``-1`` uses one thread per CPU.  A
+        thread pool is used (rather than processes) so all workers share one
+        mask cache and one table without pickling; results are deterministic
+        and independent of ``n_jobs``.
     seed:
         Seed for randomized rounding and sampling.
     """
@@ -58,6 +72,8 @@ class CauSumXConfig:
     adjustment: str = "parents"
     min_group_size: int = 10
     treatment: TreatmentMinerConfig = field(default_factory=TreatmentMinerConfig)
+    use_mask_cache: bool = True
+    n_jobs: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -73,6 +89,8 @@ class CauSumXConfig:
             raise ValueError("theta must be in [0, 1]")
         if self.k < 1:
             raise ValueError("k must be at least 1")
+        if not isinstance(self.n_jobs, int) or (self.n_jobs < 1 and self.n_jobs != -1):
+            raise ValueError("n_jobs must be a positive integer or -1")
 
     def with_overrides(self, **kwargs) -> "CauSumXConfig":
         """Return a copy of the configuration with the given fields replaced."""

@@ -17,9 +17,10 @@ from repro.graph import CausalDAG
 from repro.sql import AggregateView, GroupByAvgQuery
 
 
-@dataclass
+@dataclass(frozen=True)
 class ValidationIssue:
-    """One diagnostic finding."""
+    """One diagnostic finding.  Frozen (and therefore hashable) so reports can
+    be deduplicated and issues collected into sets."""
 
     severity: str  # "error" | "warning"
     code: str
@@ -36,6 +37,14 @@ class ValidationReport:
     issues: list[ValidationIssue] = field(default_factory=list)
 
     def add(self, severity: str, code: str, message: str) -> None:
+        """Record a finding unless the same ``(severity, code)`` is already present.
+
+        Callers may run ``validate_inputs``-style checks against the same
+        report object more than once; deduplicating here keeps the report
+        stable under re-validation.
+        """
+        if any(i.severity == severity and i.code == code for i in self.issues):
+            return
         self.issues.append(ValidationIssue(severity, code, message))
 
     @property

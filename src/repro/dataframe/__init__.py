@@ -8,6 +8,7 @@ detection, sampling, and design-matrix encoding — implemented on numpy.
 
 from repro.dataframe.column import Column
 from repro.dataframe.predicates import Op, Pattern, Predicate
+from repro.dataframe.maskcache import CacheStats, MaskCache
 from repro.dataframe.table import Table
 from repro.dataframe.functional_deps import fd_holds, fd_closure, grouping_attribute_partition
 from repro.dataframe.encoding import design_matrix, one_hot
@@ -19,7 +20,9 @@ __all__ = [
     "bin_label",
     "discretize",
     "discretize_column",
+    "CacheStats",
     "Column",
+    "MaskCache",
     "Op",
     "Pattern",
     "Predicate",

@@ -1,0 +1,144 @@
+"""Shared pattern-evaluation engine: memoized boolean predicate masks.
+
+CauSumX evaluates thousands of (grouping pattern, treatment pattern) pairs and
+the same simple predicates recur across patterns, lattice levels, and grouping
+patterns.  :class:`MaskCache` memoizes the boolean mask of every simple
+predicate against one fixed table, keyed by ``(attribute, op, value)``, and
+composes conjunctive patterns via bitwise AND of the cached masks.  Every
+later scaling layer (bound sub-population estimation, batched lattice
+evaluation, parallel treatment mining) sits on top of this engine.
+
+Cached masks are marked read-only so accidental in-place mutation by a caller
+cannot corrupt the cache; callers that need a writable mask receive a fresh
+array (any composed or sliced mask is already a copy).
+
+The cache is safe to share across threads: lookups and statistics updates are
+guarded by a lock, while mask computation happens outside it so concurrent
+misses never serialize on the (potentially slow) predicate evaluation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.dataframe.predicates import Pattern, Predicate
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of :class:`MaskCache` accounting."""
+
+    hits: int
+    misses: int
+    entries: int
+    bytes: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of predicate-mask requests served from the cache."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
+                f"entries={self.entries}, bytes={self.bytes}, "
+                f"hit_rate={self.hit_rate:.2%})")
+
+
+class MaskCache:
+    """Per-table memoized store of boolean predicate masks.
+
+    Parameters
+    ----------
+    table:
+        The table all masks are evaluated against.  The table is assumed
+        immutable (as the algorithms treat it); masks of a mutated table are
+        stale.
+    """
+
+    def __init__(self, table):
+        self.table = table
+        self._masks: dict[tuple, np.ndarray] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ masks
+
+    def predicate_mask(self, predicate: Predicate) -> np.ndarray:
+        """The (read-only) boolean mask of one simple predicate, memoized."""
+        key = (predicate.attribute, predicate.op, predicate.value)
+        with self._lock:
+            mask = self._masks.get(key)
+            if mask is not None:
+                self._hits += 1
+                return mask
+        mask = predicate.evaluate(self.table)
+        mask.setflags(write=False)
+        with self._lock:
+            self._misses += 1
+            # Another thread may have computed the same mask concurrently;
+            # keep the first one so callers can rely on identity.
+            return self._masks.setdefault(key, mask)
+
+    def pattern_mask(self, pattern: Pattern) -> np.ndarray:
+        """The mask of a conjunctive pattern: bitwise AND of cached predicate masks.
+
+        Single-predicate patterns return the cached (read-only) mask itself;
+        longer conjunctions return a fresh writable array.
+        """
+        predicates = pattern.predicates
+        if not predicates:
+            return np.ones(self.table.n_rows, dtype=bool)
+        mask = self.predicate_mask(predicates[0])
+        if len(predicates) == 1:
+            return mask
+        result = mask.copy()
+        for predicate in predicates[1:]:
+            result &= self.predicate_mask(predicate)
+        return result
+
+    def indices(self, pattern: Pattern) -> np.ndarray:
+        """Row indices of the tuples satisfying ``pattern``."""
+        return np.nonzero(self.pattern_mask(pattern))[0]
+
+    def support(self, pattern: Pattern | Predicate) -> int:
+        """Number of tuples satisfying a pattern or a single predicate."""
+        if isinstance(pattern, Predicate):
+            return int(self.predicate_mask(pattern).sum())
+        return int(self.pattern_mask(pattern).sum())
+
+    def warm(self, predicates: Iterable[Predicate]) -> None:
+        """Pre-compute masks for a batch of predicates (e.g. a lattice level)."""
+        for predicate in predicates:
+            self.predicate_mask(predicate)
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            nbytes = sum(m.nbytes for m in self._masks.values())
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              entries=len(self._masks), bytes=nbytes)
+
+    def clear(self) -> None:
+        """Drop all cached masks and reset the accounting."""
+        with self._lock:
+            self._masks.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._masks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"MaskCache(table={self.table.name!r}, {self.stats()!r})"

@@ -17,14 +17,26 @@ from repro.dataframe import Op, Pattern, Predicate, Table
 
 
 class PatternLattice:
-    """Level-wise generator of candidate treatment patterns."""
+    """Level-wise generator of candidate treatment patterns.
+
+    When a shared :class:`~repro.dataframe.MaskCache` is supplied, atomic
+    predicates are evaluated through it (warming the cache for the estimator
+    that shares it) and predicates whose full-table support is below
+    ``min_support`` are pruned: a treatment that covers fewer than
+    ``min_group_size`` tuples in the whole table can never satisfy the
+    positivity check inside any sub-population, so pruning it cannot change
+    any result.
+    """
 
     def __init__(self, table: Table, attributes: Sequence[str],
-                 max_values_per_attribute: int = 20, numeric_bins: int = 3):
+                 max_values_per_attribute: int = 20, numeric_bins: int = 3,
+                 mask_cache=None, min_support: int = 1):
         self.table = table
         self.attributes = list(attributes)
         self.max_values_per_attribute = max_values_per_attribute
         self.numeric_bins = numeric_bins
+        self.mask_cache = mask_cache
+        self.min_support = min_support
 
     # ------------------------------------------------------------------ level 1
 
@@ -49,6 +61,9 @@ class PatternLattice:
                 values = sorted(domain, key=lambda v: (-counts.get(v, 0), repr(v)))
                 values = values[:self.max_values_per_attribute]
                 predicates.extend(Predicate(attribute, Op.EQ, v) for v in values)
+        if self.mask_cache is not None and self.min_support > 0:
+            predicates = [p for p in predicates
+                          if self.mask_cache.support(p) >= self.min_support]
         return predicates
 
     def _numeric_predicates(self, attribute: str) -> list[Predicate]:

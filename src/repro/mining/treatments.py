@@ -91,14 +91,20 @@ def mine_top_treatment(estimator: CATEEstimator, grouping_pattern: Pattern,
         estimator.table, attributes,
         max_values_per_attribute=config.max_values_per_attribute,
         numeric_bins=config.numeric_bins,
+        mask_cache=estimator.mask_cache,
+        min_support=estimator.min_group_size,
     )
     sign = 1.0 if direction == "+" else -1.0
 
     def evaluate(patterns: Sequence[Pattern]) -> list[TreatmentCandidate]:
-        """ComputeCATEnFilter: estimate CATE and keep valid patterns with sign sigma."""
+        """ComputeCATEnFilter: estimate CATE and keep valid patterns with sign sigma.
+
+        Whole lattice levels are estimated through one ``estimate_many`` batch
+        call so the grouping pattern's sub-population is bound only once.
+        """
         survivors = []
-        for pattern in patterns:
-            estimate = estimator.estimate(pattern, grouping_pattern)
+        estimates = estimator.estimate_many(patterns, grouping_pattern)
+        for pattern, estimate in zip(patterns, estimates):
             if not estimate.is_valid():
                 continue
             if sign * estimate.value <= config.near_zero:
@@ -186,6 +192,8 @@ def mine_top_k_treatments(estimator: CATEEstimator, grouping_pattern: Pattern,
         estimator.table, attributes,
         max_values_per_attribute=config.max_values_per_attribute,
         numeric_bins=config.numeric_bins,
+        mask_cache=estimator.mask_cache,
+        min_support=estimator.min_group_size,
     )
     sign = 1.0 if direction == "+" else -1.0
     collected: dict[Pattern, TreatmentCandidate] = {}
@@ -194,8 +202,8 @@ def mine_top_k_treatments(estimator: CATEEstimator, grouping_pattern: Pattern,
     depth = 0
     while level and depth < config.max_levels:
         survivors = []
-        for pattern in level:
-            estimate = estimator.estimate(pattern, grouping_pattern)
+        estimates = estimator.estimate_many(level, grouping_pattern)
+        for pattern, estimate in zip(level, estimates):
             if not estimate.is_valid() or sign * estimate.value <= config.near_zero:
                 continue
             candidate = TreatmentCandidate(pattern, estimate)

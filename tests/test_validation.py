@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.validation import validate_inputs
+from repro.core.validation import ValidationIssue, ValidationReport, validate_inputs
 from repro.dataframe import Column, Table
 from repro.graph import CausalDAG
 from repro.sql import GroupByAvgQuery
@@ -98,3 +98,29 @@ class TestValidateInputs:
     def test_errors_and_warnings_partition(self, so_bundle):
         report = validate_inputs(so_bundle.table, so_bundle.query, dag=None)
         assert set(report.errors) | set(report.warnings) == set(report.issues)
+
+
+class TestValidationReport:
+    def test_issue_is_hashable_and_frozen(self):
+        issue = ValidationIssue("warning", "no-dag", "msg")
+        assert issue in {issue}
+        with pytest.raises(AttributeError):
+            issue.severity = "error"
+
+    def test_add_deduplicates_severity_code(self):
+        report = ValidationReport()
+        report.add("warning", "no-dag", "first message")
+        report.add("warning", "no-dag", "second message")
+        assert len(report.issues) == 1
+        assert report.issues[0].message == "first message"
+        # A different severity or code is a different finding.
+        report.add("error", "no-dag", "escalated")
+        report.add("warning", "small-groups", "other")
+        assert len(report.issues) == 3
+
+    def test_revalidation_does_not_grow_report(self, so_bundle):
+        report = validate_inputs(so_bundle.table, so_bundle.query, dag=None)
+        n_issues = len(report.issues)
+        for issue in validate_inputs(so_bundle.table, so_bundle.query, dag=None).issues:
+            report.add(issue.severity, issue.code, issue.message)
+        assert len(report.issues) == n_issues
