@@ -9,6 +9,14 @@ bound sub-populations) — and verifies that
 * the rendered explanation summaries are byte-identical, and
 * the cached run is at least ``MIN_SPEEDUP``× faster.
 
+The floor was 2× when a cold predicate mask paid a per-row Python-loop tax.
+Since the dictionary-encoded columnar core vectorized cold masks (see
+``bench_columnar_kernels.py``), the uncached baseline itself is ~8× faster,
+so the cache's *relative* margin shrank to the work it still deduplicates
+(bound sub-populations, shared design matrices, repeated masks).  The floor
+is 1.25× accordingly — the gate still catches a cache regression, measured
+against a much faster baseline.
+
 Usable both as a pytest-benchmark test (``pytest benchmarks/bench_mask_cache.py``)
 and as a standalone script for CI smoke runs::
 
@@ -30,7 +38,7 @@ from repro.core import CauSumX, CauSumXConfig, render_summary  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
 from repro.mining.treatments import TreatmentMinerConfig  # noqa: E402
 
-MIN_SPEEDUP = 2.0
+MIN_SPEEDUP = 1.25
 
 
 def _config(**overrides) -> CauSumXConfig:
@@ -75,7 +83,7 @@ def run_comparison(n: int = 2000, n_jobs: int = 1) -> dict:
 
 
 def test_mask_cache_speedup(benchmark):
-    """≥2× end-to-end speedup with byte-identical explanation summaries."""
+    """≥1.25× end-to-end speedup with byte-identical explanation summaries."""
     from conftest import record_rows
 
     row = benchmark.pedantic(run_comparison, rounds=1, iterations=1)

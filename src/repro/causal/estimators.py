@@ -242,6 +242,12 @@ class BoundSubpopulation:
     treatment over the same attributes shares it verbatim, so the regression
     inputs (and therefore the estimates) are bitwise identical to the unbound
     path.
+
+    The bound table is a :meth:`Table.take` slice, so its categorical columns
+    share the parent vocabulary: treatment masks sliced from the full-table
+    cache line up with the bound rows, and the memoized design matrices are
+    built by fancy-indexing the inherited dictionary codes (no re-encoding of
+    the sub-population).
     """
 
     def __init__(self, estimator: CATEEstimator, subpopulation: Pattern | None):

@@ -4,10 +4,18 @@ The original prototype relies on pandas; this package provides the subset of
 relational functionality the algorithms need — typed columns, predicate
 evaluation, selection, projection, group-by-average, functional-dependency
 detection, sampling, and design-matrix encoding — implemented on numpy.
+
+Categorical data is *dictionary-encoded* throughout: each categorical
+:class:`Column` stores an ``int32`` code array plus an immutable sorted
+vocabulary, and every consumer (predicate kernels, one-hot encoding, the
+:class:`GroupByIndex` behind group-by aggregation, candidate-value
+enumeration) operates on the codes.  Slicing preserves encodings, so
+sub-populations inherit their parent's codes for free.
 """
 
-from repro.dataframe.column import Column
+from repro.dataframe.column import Column, MISSING_CODE
 from repro.dataframe.predicates import Op, Pattern, Predicate
+from repro.dataframe.groupby import GroupByIndex
 from repro.dataframe.maskcache import CacheStats, MaskCache
 from repro.dataframe.table import Table
 from repro.dataframe.functional_deps import fd_holds, fd_closure, grouping_attribute_partition
@@ -22,6 +30,8 @@ __all__ = [
     "discretize_column",
     "CacheStats",
     "Column",
+    "GroupByIndex",
+    "MISSING_CODE",
     "MaskCache",
     "Op",
     "Pattern",

@@ -1,4 +1,25 @@
-"""Typed column wrapper around a numpy array."""
+"""Typed column wrapper around numpy storage.
+
+Columns come in two physical representations:
+
+* **numeric** — a ``float64`` array; missing values are ``np.nan``;
+* **categorical** — *dictionary-encoded*: an ``int32`` code array plus an
+  immutable, deterministically ordered vocabulary of distinct values.
+  Missing values (``None`` or ``NaN`` on input) are normalised to the
+  sentinel code ``MISSING_CODE`` (-1) and never enter the vocabulary.
+
+The vocabulary is sorted ascending (falling back to ``repr`` ordering for
+mixed un-orderable types), which makes code order agree with value order:
+``codes[i] < codes[j]`` iff ``vocab[codes[i]] < vocab[codes[j]]`` whenever the
+values are comparable.  Every consumer of categorical data — predicate
+kernels, one-hot encoding, group-by factorization, candidate-value
+enumeration — operates on the codes; the object array of raw values is only
+materialised lazily on demand (``Column.values``).
+
+Slicing (:meth:`take`) preserves the vocabulary, so sub-populations inherit
+the parent table's encoding for free and masks/codes remain comparable across
+slices.
+"""
 
 from __future__ import annotations
 
@@ -6,13 +27,17 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+#: Code assigned to missing categorical values.  Never a valid vocab index.
+MISSING_CODE = -1
+
 
 class Column:
     """A named, typed column of values.
 
     Columns are either *numeric* (stored as ``float64``) or *categorical*
-    (stored as ``object``).  Missing values are represented as ``np.nan`` for
-    numeric columns and ``None`` for categorical columns.
+    (dictionary-encoded: ``int32`` codes + an immutable vocabulary).  Missing
+    values are represented as ``np.nan`` for numeric columns and ``None``
+    (sentinel code ``-1``) for categorical columns.
     """
 
     def __init__(self, name: str, values: Iterable, numeric: bool | None = None):
@@ -23,25 +48,112 @@ class Column:
         if numeric is None:
             numeric = _infer_numeric(materialized)
         self.numeric = bool(numeric)
+        self._values: np.ndarray | None = None
+        self._vocab_index: dict | None = None
         if self.numeric:
-            self.values = np.asarray(
-                [_to_float(v) for v in materialized], dtype=np.float64
-            )
+            self._codes = None
+            self._vocab: tuple = ()
+            if isinstance(materialized, np.ndarray) and \
+                    materialized.dtype.kind in "fiub":
+                # Fast path: a clean numeric array needs no per-value coercion.
+                # Copy so the column never aliases a caller-owned buffer.
+                self._data = materialized.astype(np.float64, copy=True)
+            else:
+                self._data = np.asarray(
+                    [_to_float(v) for v in materialized], dtype=np.float64
+                )
         else:
-            data = np.empty(len(materialized), dtype=object)
-            for i, v in enumerate(materialized):
-                if _is_missing(v):
-                    data[i] = None
-                elif isinstance(v, np.generic):
-                    data[i] = v.item()  # unwrap numpy scalars for clean reprs
-                else:
-                    data[i] = v
-            self.values = data
+            self._data = None
+            self._codes, self._vocab = _factorize(materialized)
+
+    # ------------------------------------------------------------------ alt constructors
+
+    @classmethod
+    def from_codes(cls, name: str, codes: np.ndarray, vocab: Sequence) -> "Column":
+        """Build a categorical column directly from dictionary codes.
+
+        ``codes`` must be an integer array with values in
+        ``[-1, len(vocab))`` (``-1`` marks missing); ``vocab`` must already be
+        in the deterministic sorted order used by :func:`_factorize`.  The
+        array is adopted without copying — callers must hand over ownership.
+        This is the fast path used by :meth:`take` so slices share the parent
+        vocabulary.
+        """
+        column = cls.__new__(cls)
+        column.name = name
+        column.numeric = False
+        column._data = None
+        column._values = None
+        column._vocab_index = None
+        column._codes = np.asarray(codes, dtype=np.int32)
+        column._vocab = tuple(vocab)
+        return column
+
+    @classmethod
+    def _from_numeric_data(cls, name: str, data: np.ndarray) -> "Column":
+        """Adopt a fresh ``float64`` array without copying (internal fast path)."""
+        column = cls.__new__(cls)
+        column.name = name
+        column.numeric = True
+        column._values = None
+        column._vocab_index = None
+        column._codes = None
+        column._vocab = ()
+        column._data = data
+        return column
+
+    # ------------------------------------------------------------------ storage access
+
+    @property
+    def values(self) -> np.ndarray:
+        """The column as a numpy array.
+
+        Numeric columns return their ``float64`` storage; categorical columns
+        lazily materialise (and cache) the decoded ``object`` array, with
+        ``None`` for missing entries.
+        """
+        if self.numeric:
+            return self._data
+        if self._values is None:
+            lookup = np.empty(len(self._vocab) + 1, dtype=object)
+            for code, value in enumerate(self._vocab):
+                lookup[code] = value
+            lookup[len(self._vocab)] = None  # sentinel -1 wraps to the last slot
+            self._values = lookup[self._codes]
+        return self._values
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Dictionary codes of a categorical column (``-1`` = missing).
+
+        The preferred numeric view of categorical data: deterministic (vocab
+        is sorted ascending, ``repr`` order for un-orderable mixed types) and
+        stable across :meth:`take` slices.  Raises for numeric columns.
+        """
+        if self.numeric:
+            raise TypeError(f"column {self.name!r} is numeric; it has no "
+                            "dictionary codes (use .values)")
+        return self._codes
+
+    @property
+    def vocab(self) -> tuple:
+        """The immutable, deterministically ordered vocabulary (categorical only)."""
+        if self.numeric:
+            raise TypeError(f"column {self.name!r} is numeric; it has no vocabulary")
+        return self._vocab
+
+    def vocab_code(self, value) -> int | None:
+        """The dictionary code of ``value``, or ``None`` if absent from the vocab."""
+        if self.numeric:
+            raise TypeError(f"column {self.name!r} is numeric; it has no vocabulary")
+        if self._vocab_index is None:
+            self._vocab_index = {v: i for i, v in enumerate(self._vocab)}
+        return self._vocab_index.get(value)
 
     # ------------------------------------------------------------------ dunder
 
     def __len__(self) -> int:
-        return len(self.values)
+        return len(self._data) if self.numeric else len(self._codes)
 
     def __getitem__(self, idx):
         return self.values[idx]
@@ -59,61 +171,87 @@ class Column:
         if self.numeric:
             return bool(
                 np.all(
-                    (self.values == other.values)
-                    | (np.isnan(self.values) & np.isnan(other.values))
+                    (self._data == other._data)
+                    | (np.isnan(self._data) & np.isnan(other._data))
                 )
             )
+        if self._vocab == other._vocab:
+            return bool(np.array_equal(self._codes, other._codes))
         return bool(np.all(self.values == other.values))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        kind = "numeric" if self.numeric else "categorical"
+        kind = "numeric" if self.numeric else f"categorical[{len(self._vocab)}]"
         return f"Column({self.name!r}, n={len(self)}, {kind})"
 
     # ------------------------------------------------------------------ helpers
 
     def take(self, indices) -> "Column":
-        """Return a new column with only the rows at ``indices`` (or bool mask)."""
-        return Column(self.name, self.values[indices], numeric=self.numeric)
+        """Return a new column with only the rows at ``indices`` (or bool mask).
+
+        Categorical slices keep the parent vocabulary, so codes stay
+        comparable across sub-populations and no re-encoding happens.
+        """
+        if self.numeric:
+            return Column._from_numeric_data(self.name, self._data[indices])
+        return Column.from_codes(self.name, self._codes[indices], self._vocab)
 
     def unique(self) -> list:
-        """Return sorted distinct non-missing values (the active domain)."""
+        """Return sorted distinct non-missing values (the active domain).
+
+        For categorical columns this is the subset of the vocabulary whose
+        codes occur in the column, in vocabulary (i.e. sorted) order — no row
+        rescan, just a ``np.unique`` over the codes.
+        """
         if self.numeric:
-            vals = self.values[~np.isnan(self.values)]
-            return sorted(set(float(v) for v in vals))
-        vals = [v for v in self.values if v is not None]
-        try:
-            return sorted(set(vals))
-        except TypeError:  # mixed un-orderable types
-            return sorted(set(vals), key=repr)
+            vals = self._data[~np.isnan(self._data)]
+            return [float(v) for v in np.unique(vals)]
+        present = np.unique(self._codes)
+        return [self._vocab[c] for c in present if c != MISSING_CODE]
 
     def n_missing(self) -> int:
         if self.numeric:
-            return int(np.isnan(self.values).sum())
-        return int(sum(1 for v in self.values if v is None))
+            return int(np.isnan(self._data).sum())
+        return int((self._codes == MISSING_CODE).sum())
 
     def value_counts(self) -> dict:
         """Return a mapping ``value -> count`` over non-missing values."""
-        counts: dict = {}
-        for v in self.values:
-            if _is_missing(v):
-                continue
-            key = float(v) if self.numeric else v
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        if self.numeric:
+            vals = self._data[~np.isnan(self._data)]
+            uniques, counts = np.unique(vals, return_counts=True)
+            return {float(u): int(c) for u, c in zip(uniques, counts)}
+        counts = np.bincount(self._codes[self._codes != MISSING_CODE],
+                             minlength=len(self._vocab))
+        return {value: int(count)
+                for value, count in zip(self._vocab, counts) if count}
 
     def as_float(self) -> np.ndarray:
-        """Return the column as a float array (categoricals are label-encoded)."""
+        """Return the column as a float array (categoricals are label-encoded).
+
+        Categorical values are mapped to their dense rank among the values
+        *present in this column*, in sorted (vocabulary) order — i.e. the
+        i-th smallest present value maps to ``float(i)`` and missing values to
+        ``NaN``.  The mapping is derived from the cached dictionary codes, so
+        no per-row Python loop runs.
+
+        .. deprecated:: Prefer :attr:`Column.codes` for categorical columns —
+           codes are stable across slices, whereas this dense re-ranking is
+           relative to the values present in the (possibly sliced) column.
+        """
         if self.numeric:
-            return self.values.astype(np.float64)
-        mapping = {v: i for i, v in enumerate(self.unique())}
-        out = np.full(len(self), np.nan)
-        for i, v in enumerate(self.values):
-            if v is not None:
-                out[i] = mapping[v]
+            return self._data.astype(np.float64)
+        present = np.unique(self._codes)
+        present = present[present != MISSING_CODE]
+        remap = np.full(len(self._vocab) + 1, -1, dtype=np.int64)
+        remap[present] = np.arange(len(present))
+        ranks = remap[self._codes]  # sentinel -1 wraps to the last slot (-1)
+        out = ranks.astype(np.float64)
+        out[ranks < 0] = np.nan
         return out
 
     def rename(self, new_name: str) -> "Column":
-        return Column(new_name, self.values, numeric=self.numeric)
+        if self.numeric:
+            return Column._from_numeric_data(new_name, self._data)
+        return Column.from_codes(new_name, self._codes, self._vocab)
 
 
 def _is_missing(value) -> bool:
@@ -128,6 +266,39 @@ def _to_float(value) -> float:
     if _is_missing(value):
         return float("nan")
     return float(value)
+
+
+def _factorize(values) -> tuple[np.ndarray, tuple]:
+    """Dictionary-encode raw values into ``(int32 codes, sorted vocab)``.
+
+    Values are normalised first (numpy scalars unwrapped, ``None``/``NaN`` to
+    the sentinel); the vocabulary is sorted ascending with a ``repr``-order
+    fallback for mixed un-orderable types, matching :meth:`Column.unique`.
+    """
+    n = len(values)
+    first_seen: dict = {}
+    tmp = np.empty(n, dtype=np.int32)
+    for i, v in enumerate(values):
+        if _is_missing(v):
+            tmp[i] = MISSING_CODE
+            continue
+        if isinstance(v, np.generic):
+            v = v.item()  # unwrap numpy scalars for clean reprs
+        code = first_seen.get(v)
+        if code is None:
+            code = len(first_seen)
+            first_seen[v] = code
+        tmp[i] = code
+    distinct = list(first_seen)
+    try:
+        vocab = sorted(distinct)
+    except TypeError:  # mixed un-orderable types
+        vocab = sorted(distinct, key=repr)
+    remap = np.empty(len(distinct) + 1, dtype=np.int32)
+    for sorted_code, value in enumerate(vocab):
+        remap[first_seen[value]] = sorted_code
+    remap[len(distinct)] = MISSING_CODE  # sentinel -1 wraps to the last slot
+    return remap[tmp], tuple(vocab)
 
 
 def _infer_numeric(values: Sequence) -> bool:

@@ -1,4 +1,11 @@
-"""Design-matrix encoding of table attributes for regression-based estimators."""
+"""Design-matrix encoding of table attributes for regression-based estimators.
+
+Categorical attributes are one-hot encoded straight from their dictionary
+codes: the indicator column of each row is found by fancy-indexing a
+``vocab code -> matrix column`` lookup table, so no per-row dictionary lookups
+run.  ``CATEEstimator`` binds sub-populations through these kernels, which
+makes design-matrix construction vectorized end-to-end.
+"""
 
 from __future__ import annotations
 
@@ -10,24 +17,46 @@ from repro.dataframe.table import Table
 
 
 def one_hot(table: Table, attribute: str, drop_first: bool = True) -> tuple[np.ndarray, list[str]]:
-    """One-hot encode a categorical attribute.
+    """One-hot encode an attribute.
 
     Returns the encoded matrix and the generated feature names.  With
     ``drop_first`` the first category is used as the reference level to avoid
-    perfect collinearity in regressions.
+    perfect collinearity in regressions.  Categories are the values *present*
+    in the column (in sorted/vocabulary order), so sliced tables produce the
+    same layout the row-at-a-time encoder did.
     """
     column = table.column(attribute)
     categories = column.unique()
     if drop_first and len(categories) > 1:
         categories = categories[1:]
     matrix = np.zeros((table.n_rows, len(categories)), dtype=np.float64)
-    index = {c: j for j, c in enumerate(categories)}
-    for i, value in enumerate(column.values):
-        j = index.get(value)
-        if j is not None:
-            matrix[i, j] = 1.0
     names = [f"{attribute}={c}" for c in categories]
+    _one_hot_into(column, categories, matrix)
     return matrix, names
+
+
+def _one_hot_into(column, categories: list, out: np.ndarray) -> None:
+    """Write one-hot indicator columns for ``categories`` into ``out`` in place."""
+    if not categories:
+        return
+    if column.numeric:
+        # Exact-match indicators against the sorted category values.
+        cats = np.asarray(categories, dtype=np.float64)
+        values = column.values
+        with np.errstate(invalid="ignore"):
+            positions = np.searchsorted(cats, values)
+        positions = np.clip(positions, 0, len(cats) - 1)
+        rows = np.flatnonzero(values == cats[positions])
+        out[rows, positions[rows]] = 1.0
+        return
+    # Map vocab codes to matrix columns; unselected codes (reference level)
+    # and the missing sentinel (-1, wrapping to the extra last slot) stay -1.
+    lookup = np.full(len(column.vocab) + 1, -1, dtype=np.int64)
+    for j, category in enumerate(categories):
+        lookup[column.vocab_code(category)] = j
+    positions = lookup[column.codes]
+    rows = np.flatnonzero(positions >= 0)
+    out[rows, positions[rows]] = 1.0
 
 
 def design_matrix(table: Table, attributes: Sequence[str], drop_first: bool = True,
@@ -35,28 +64,50 @@ def design_matrix(table: Table, attributes: Sequence[str], drop_first: bool = Tr
     """Build a regression design matrix from a mix of numeric/categorical attributes.
 
     Numeric attributes are passed through (missing values imputed with the
-    column mean); categorical attributes are one-hot encoded.
+    column mean); categorical attributes are one-hot encoded from their
+    dictionary codes.  The output matrix is allocated once and every block is
+    written into it in place — no intermediate block list or ``hstack`` copy.
     """
-    blocks: list[np.ndarray] = []
+    n_rows = table.n_rows
+    plan: list[tuple] = []  # (column, categories-or-None)
     names: list[str] = []
+    width = 0
     if add_intercept:
-        blocks.append(np.ones((table.n_rows, 1)))
+        plan.append((None, None))
         names.append("intercept")
+        width += 1
     for attribute in attributes:
         column = table.column(attribute)
         if column.numeric:
-            values = column.values.astype(np.float64).copy()
+            plan.append((column, None))
+            names.append(attribute)
+            width += 1
+        else:
+            categories = column.unique()
+            if drop_first and len(categories) > 1:
+                categories = categories[1:]
+            if not categories:
+                continue
+            plan.append((column, categories))
+            names.extend(f"{attribute}={c}" for c in categories)
+            width += len(categories)
+    matrix = np.zeros((n_rows, width), dtype=np.float64)
+    offset = 0
+    for column, categories in plan:
+        if column is None:  # intercept
+            matrix[:, offset] = 1.0
+            offset += 1
+        elif categories is None:  # numeric pass-through with mean imputation
+            values = column.values
             missing = np.isnan(values)
             if missing.any():
                 fill = values[~missing].mean() if (~missing).any() else 0.0
-                values[missing] = fill
-            blocks.append(values.reshape(-1, 1))
-            names.append(attribute)
+                matrix[:, offset] = np.where(missing, fill, values)
+            else:
+                matrix[:, offset] = values
+            offset += 1
         else:
-            encoded, feature_names = one_hot(table, attribute, drop_first=drop_first)
-            if encoded.shape[1]:
-                blocks.append(encoded)
-                names.extend(feature_names)
-    if not blocks:
-        return np.zeros((table.n_rows, 0)), []
-    return np.hstack(blocks), names
+            _one_hot_into(column, categories,
+                          matrix[:, offset:offset + len(categories)])
+            offset += len(categories)
+    return matrix, names

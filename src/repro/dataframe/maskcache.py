@@ -8,6 +8,12 @@ composes conjunctive patterns via bitwise AND of the cached masks.  Every
 later scaling layer (bound sub-population estimation, batched lattice
 evaluation, parallel treatment mining) sits on top of this engine.
 
+Since the dataframe layer moved to dictionary-encoded categorical columns,
+*cold* masks are vectorized too: a cache miss evaluates the predicate as a
+numpy kernel over the column's codes (``codes == vocab_code(value)``), so the
+cache's job is purely to amortise repeated masks, not to hide a per-row
+Python loop.
+
 Cached masks are marked read-only so accidental in-place mutation by a caller
 cannot corrupt the cache; callers that need a writable mask receive a fresh
 array (any composed or sliced mask is already a copy).

@@ -61,38 +61,67 @@ class Predicate:
     def evaluate(self, table) -> np.ndarray:
         """Return a boolean mask of rows of ``table`` satisfying this predicate.
 
-        Missing values never satisfy a predicate.
+        Missing values never satisfy a predicate.  Both column kinds evaluate
+        as pure numpy kernels: numeric columns compare the float storage
+        directly; categorical columns compare dictionary codes — equality is a
+        single ``codes == code`` comparison, and ordered operators evaluate
+        once per *vocabulary entry* (not per row) and fancy-index the result.
         """
         column = table.column(self.attribute)
-        values = column.values
         if column.numeric:
+            values = column.values
             target = float(self.value)
             valid = ~np.isnan(values)
             with np.errstate(invalid="ignore"):
                 comparison = _numeric_compare(values, self.op, target)
             return comparison & valid
-        valid = np.array([v is not None for v in values], dtype=bool)
+        codes = column.codes
         if self.op is Op.EQ:
-            comparison = np.array([v == self.value for v in values], dtype=bool)
-        elif self.op is Op.NE:
-            comparison = np.array([v != self.value for v in values], dtype=bool)
-        else:
-            comparison = np.array(
-                [v is not None and _ordered_compare(v, self.op, self.value)
-                 for v in values],
-                dtype=bool,
-            )
-        return comparison & valid
+            code = column.vocab_code(self.value)
+            if code is None:  # value absent from the vocabulary: nothing matches
+                return np.zeros(len(codes), dtype=bool)
+            return codes == code
+        if self.op is Op.NE:
+            code = column.vocab_code(self.value)
+            valid = codes >= 0
+            if code is None:  # every non-missing value differs
+                return valid
+            return (codes != code) & valid
+        # Ordered comparison: decide once per *present* vocabulary value, then
+        # broadcast to rows through the code array.  Only present values are
+        # compared so a sliced column whose inherited parent vocabulary holds
+        # un-orderable absent values behaves like the per-row evaluation did.
+        # The sentinel slot stays False so missing values never match.
+        vocab = column.vocab
+        satisfied = np.zeros(len(vocab) + 1, dtype=bool)
+        for code in np.unique(codes):
+            if code >= 0:
+                satisfied[code] = _ordered_compare(vocab[code], self.op, self.value)
+        return satisfied[codes]
 
     def evaluate_value(self, value) -> bool:
-        """Evaluate the predicate against a single scalar value."""
+        """Evaluate the predicate against a single scalar value.
+
+        Booleans follow the numeric path, matching column storage: a column of
+        ``bool`` values is numeric (``True``/``False`` stored as 1.0/0.0), so
+        scalar evaluation compares them as floats too and
+        ``evaluate_value(row[a])`` always agrees with ``evaluate(table)``.
+        """
         if value is None:
             return False
         if isinstance(value, float) and np.isnan(value):
             return False
-        if isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(value, bool):
-            return bool(_numeric_compare(np.asarray([float(value)]), self.op,
-                                         float(self.value))[0])
+        if isinstance(value, (bool, int, float, np.integer, np.floating)):
+            try:
+                target = float(self.value)
+            except (TypeError, ValueError):
+                # Non-numeric target: a numeric-kind scalar can only live in a
+                # mixed-type categorical column, where the column kernel
+                # compares by generic equality — do the same here.
+                pass
+            else:
+                return bool(_numeric_compare(np.asarray([float(value)]),
+                                             self.op, target)[0])
         if self.op is Op.EQ:
             return value == self.value
         if self.op is Op.NE:

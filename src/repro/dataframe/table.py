@@ -7,6 +7,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.dataframe.column import Column
+from repro.dataframe.groupby import GroupByIndex
 from repro.dataframe.predicates import Pattern, Predicate
 
 
@@ -170,27 +171,18 @@ class Table:
         base = self if where is None or where.is_empty() else self.select(where)
         outcome = base.column(avg_attr).values.astype(np.float64) \
             if base.column(avg_attr).numeric else base.column(avg_attr).as_float()
-        key_columns = [base.column(a).values for a in group_attrs]
-        groups: dict[tuple, list] = {}
-        for i in range(base.n_rows):
-            key = tuple(col[i] for col in key_columns)
-            groups.setdefault(key, []).append(outcome[i])
-        results = []
-        for key in sorted(groups, key=repr):
-            values = np.asarray(groups[key], dtype=np.float64)
-            valid = values[~np.isnan(values)]
-            avg = float(valid.mean()) if valid.size else float("nan")
-            results.append((key, avg, len(values)))
-        return results
+        index = base.group_index(group_attrs)
+        averages, _ = index.averages(outcome)
+        return [(index.keys[g], float(averages[g]), int(index.sizes[g]))
+                for g in index.sorted_by_repr()]
+
+    def group_index(self, group_attrs: Sequence[str]) -> GroupByIndex:
+        """Factorized group index over the given attributes (composite group ids)."""
+        return GroupByIndex(self, list(group_attrs))
 
     def group_indices(self, group_attrs: Sequence[str]) -> dict[tuple, np.ndarray]:
         """Map each group key to the array of row indices belonging to it."""
-        key_columns = [self.column(a).values for a in group_attrs]
-        groups: dict[tuple, list] = {}
-        for i in range(self.n_rows):
-            key = tuple(col[i] for col in key_columns)
-            groups.setdefault(key, []).append(i)
-        return {k: np.asarray(v, dtype=np.int64) for k, v in groups.items()}
+        return self.group_index(group_attrs).indices_by_key()
 
     def avg(self, attribute: str) -> float:
         values = self.column(attribute).values

@@ -52,7 +52,10 @@ def apriori(table: Table, attributes: Sequence[str], min_support: float = 0.1,
     min_count = max(1, int(np.ceil(min_support * n_rows)))
     max_length = max_length or len(attributes)
 
-    # Level 1: single-predicate patterns and their row masks.
+    # Level 1: single-predicate patterns and their row masks.  Candidate
+    # values and their counts come from the column vocabulary (a bincount
+    # over dictionary codes), and each mask is one vectorized code
+    # comparison — the rows are never rescanned per (attribute, value) pair.
     level: dict[Pattern, np.ndarray] = {}
     results: list[FrequentPattern] = []
     for attribute in attributes:

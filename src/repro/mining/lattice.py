@@ -51,14 +51,16 @@ class PatternLattice:
         predicates: list[Predicate] = []
         for attribute in self.attributes:
             column = self.table.column(attribute)
-            domain = column.unique()
-            if not domain:
+            # Candidate values come straight from the dictionary-encoded
+            # column: value_counts/unique are bincount/np.unique over the
+            # cached codes, so no row rescan happens per attribute.
+            counts = self.table.value_counts(attribute)
+            if not counts:
                 continue
-            if column.numeric and len(domain) > self.max_values_per_attribute:
+            if column.numeric and len(counts) > self.max_values_per_attribute:
                 predicates.extend(self._numeric_predicates(attribute))
             else:
-                counts = self.table.value_counts(attribute)
-                values = sorted(domain, key=lambda v: (-counts.get(v, 0), repr(v)))
+                values = sorted(counts, key=lambda v: (-counts[v], repr(v)))
                 values = values[:self.max_values_per_attribute]
                 predicates.extend(Predicate(attribute, Op.EQ, v) for v in values)
         if self.mask_cache is not None and self.min_support > 0:

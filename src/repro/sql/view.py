@@ -20,7 +20,15 @@ class GroupResult:
     size: int
 
     def label(self) -> str:
-        return "/".join(str(k) for k in self.key)
+        """Unambiguous ``/``-joined rendering of the key.
+
+        ``/`` (and ``\\``) occurring *inside* a key part is escaped so distinct
+        keys such as ``("a/b", "c")`` and ``("a", "b/c")`` never collide on the
+        same label.
+        """
+        return "/".join(
+            str(k).replace("\\", "\\\\").replace("/", "\\/") for k in self.key
+        )
 
 
 class AggregateView:
@@ -35,10 +43,18 @@ class AggregateView:
         self.query = query
         self.base_table = table
         self.table = table if query.where.is_empty() else table.select(query.where)
-        self._group_rows = self.table.group_indices(list(query.group_by))
-        results = self.table.groupby_avg(list(query.group_by), query.average)
+        # One factorized group index backs membership lists, the averages, and
+        # the covered-groups test — the rows are never rescanned per group.
+        self._index = self.table.group_index(list(query.group_by))
+        self._group_rows = self._index.indices_by_key()
+        outcome_column = self.table.column(query.average)
+        outcome = outcome_column.values.astype(np.float64) \
+            if outcome_column.numeric else outcome_column.as_float()
+        averages, _ = self._index.averages(outcome)
         self.groups: list[GroupResult] = [
-            GroupResult(key=key, average=avg, size=size) for key, avg, size in results
+            GroupResult(key=self._index.keys[g], average=float(averages[g]),
+                        size=int(self._index.sizes[g]))
+            for g in self._index.sorted_by_repr()
         ]
         self._group_index = {g.key: i for i, g in enumerate(self.groups)}
 
@@ -83,11 +99,9 @@ class AggregateView:
         if grouping_pattern.is_empty():
             return frozenset(self.group_keys())
         mask = grouping_pattern.evaluate(self.table)
-        covered = []
-        for key, rows in self._group_rows.items():
-            if bool(mask[rows].all()):
-                covered.append(key)
-        return frozenset(covered)
+        fully_covered = self._index.all_true(mask)
+        return frozenset(self._index.keys[g]
+                         for g in np.flatnonzero(fully_covered))
 
     def coverage_fraction(self, covered: Iterable[tuple]) -> float:
         """Fraction of view groups contained in ``covered``."""
