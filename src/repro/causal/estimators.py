@@ -98,6 +98,13 @@ class CATEEstimator:
         self.use_cache = use_cache
         self.bound_cache_size = bound_cache_size
         self.mask_cache: MaskCache | None = MaskCache(table) if use_cache else None
+        #: Shared store of lattice atomic predicates, keyed by the lattice's
+        #: generation parameters.  Treatment miners for different grouping
+        #: patterns (and, in the serving engine, different queries over the
+        #: same population) pass it to :class:`~repro.mining.PatternLattice`
+        #: so candidate atoms are enumerated once per table instead of once
+        #: per (grouping pattern, direction).
+        self.atom_cache: dict = {}
         self._adjustment_cache: dict[tuple[str, ...], tuple[str, ...]] = {}
         self._adjustment_lock = threading.Lock()
         self._bound: OrderedDict[tuple, BoundSubpopulation] = OrderedDict()

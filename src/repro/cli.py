@@ -7,6 +7,8 @@ Usage examples::
     python -m repro explain --csv data.csv \
         --query "SELECT Region, AVG(Revenue) FROM t GROUP BY Region" --dag dag.json
     python -m repro case-study figure7_accidents --n 3000
+    python -m repro serve --dataset stackoverflow --n 2000     # JSON-lines loop
+    python -m repro batch --dataset adult --queries q.sql --out summaries.json
 """
 
 from __future__ import annotations
@@ -22,7 +24,30 @@ from repro.datasets import list_datasets, load_dataset
 from repro.discovery import no_dag, pc_algorithm
 from repro.experiments.case_studies import CASE_STUDIES, run_case_study
 from repro.graph import CausalDAG
+from repro.service import ExplanationEngine, read_queries, run_batch, serve_loop
 from repro.sql import parse_query
+
+
+def _add_source_arguments(parser: argparse.ArgumentParser,
+                          query_help: str) -> None:
+    """The table/DAG/query source options shared by explain, serve, and batch."""
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=sorted(list_datasets()),
+                        help="built-in dataset generator to use")
+    source.add_argument("--csv", type=Path, help="CSV file containing the relation")
+    parser.add_argument("--query", help=query_help)
+    parser.add_argument("--dag", type=Path,
+                        help="causal DAG as JSON ({child: [parents...]}); "
+                             "default: the dataset's DAG, or PC discovery for CSV input")
+    parser.add_argument("--n", type=int, default=2000,
+                        help="number of tuples to generate for built-in datasets")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--k", type=int, default=5,
+                        help="maximum number of explanation patterns")
+    parser.add_argument("--theta", type=float, default=0.75, help="coverage constraint")
+    parser.add_argument("--apriori-threshold", type=float, default=0.1)
+    parser.add_argument("--no-discovery", action="store_true",
+                        help="with --csv and no --dag, use the No-DAG baseline instead of PC")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,25 +58,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-datasets", help="list the built-in dataset generators")
 
     explain = sub.add_parser("explain", help="explain an aggregate view")
-    source = explain.add_mutually_exclusive_group(required=True)
-    source.add_argument("--dataset", choices=sorted(list_datasets()),
-                        help="built-in dataset generator to use")
-    source.add_argument("--csv", type=Path, help="CSV file containing the relation")
-    explain.add_argument("--query", help="group-by-average SQL query "
-                                         "(default: the dataset's representative query)")
-    explain.add_argument("--dag", type=Path,
-                         help="causal DAG as JSON ({child: [parents...]}); "
-                              "default: the dataset's DAG, or PC discovery for CSV input")
-    explain.add_argument("--n", type=int, default=2000,
-                         help="number of tuples to generate for built-in datasets")
-    explain.add_argument("--seed", type=int, default=0)
-    explain.add_argument("--k", type=int, default=5, help="maximum number of explanation patterns")
-    explain.add_argument("--theta", type=float, default=0.75, help="coverage constraint")
-    explain.add_argument("--apriori-threshold", type=float, default=0.1)
-    explain.add_argument("--no-discovery", action="store_true",
-                         help="with --csv and no --dag, use the No-DAG baseline instead of PC")
+    _add_source_arguments(explain, "group-by-average SQL query "
+                                   "(default: the dataset's representative query)")
     explain.add_argument("--outcome-label", default="the outcome",
                          help="noun used in the rendered explanation text")
+
+    serve = sub.add_parser(
+        "serve", help="serve explanations over a JSON-lines stdin/stdout loop")
+    _add_source_arguments(serve, "default query (informational; requests carry "
+                                 "their own queries)")
+    serve.add_argument("--n-jobs", type=int, default=1,
+                       help="worker threads for treatment mining inside one query")
+    serve.add_argument("--max-workers", type=int, default=4,
+                       help="thread-pool width for batched requests")
+    serve.add_argument("--summary-cache-size", type=int, default=256,
+                       help="LRU capacity of the summary cache")
+
+    batch = sub.add_parser(
+        "batch", help="answer a file of queries and emit JSON summaries")
+    _add_source_arguments(batch, "unused for batch (queries come from --queries)")
+    batch.add_argument("--queries", type=Path, required=True,
+                       help="file of queries: one SQL per line (# comments) "
+                            "or a JSON array of strings")
+    batch.add_argument("--out", type=Path, default=None,
+                       help="output JSON file (default: stdout)")
+    batch.add_argument("--n-jobs", type=int, default=1,
+                       help="worker threads for treatment mining inside one query")
+    batch.add_argument("--max-workers", type=int, default=4,
+                       help="thread-pool width across distinct queries")
 
     case = sub.add_parser("case-study", help="run one of the paper's case studies")
     case.add_argument("name", choices=sorted(CASE_STUDIES),
@@ -67,40 +101,114 @@ def _cmd_list_datasets() -> int:
     return 0
 
 
-def _cmd_explain(args: argparse.Namespace) -> int:
+def _load_source(args: argparse.Namespace, require_query: bool,
+                 machine_output: bool = False):
+    """Resolve (table, dag, query, grouping_attrs, treatment_attrs, config, name).
+
+    Returns ``None`` after printing an error when the source is unusable.
+    ``machine_output`` sends informational notices to stderr so commands whose
+    stdout is a machine-readable protocol (serve/batch) stay parseable.
+    """
     config = CauSumXConfig(k=args.k, theta=args.theta,
                            apriori_threshold=args.apriori_threshold,
-                           sample_size=None)
+                           sample_size=None,
+                           n_jobs=getattr(args, "n_jobs", 1))
     grouping_attributes = treatment_attributes = None
     if args.dataset:
         bundle = load_dataset(args.dataset, n=args.n, seed=args.seed)
         table, dag, query = bundle.table, bundle.dag, bundle.query
         grouping_attributes = bundle.grouping_attributes
         treatment_attributes = bundle.treatment_attributes
+        name = args.dataset
         if args.dataset == "german":
             config = config.with_overrides(include_singleton_groups=True)
     else:
         table = read_csv(args.csv)
-        if not args.query:
+        if require_query and not args.query:
             print("error: --query is required with --csv", file=sys.stderr)
-            return 2
+            return None
         query = None
         dag = None
+        name = args.csv.stem
     if args.query:
         query = parse_query(args.query)
     if args.dag:
         with args.dag.open() as handle:
             dag = CausalDAG.from_dict(json.load(handle))
     if dag is None:
-        dag = no_dag(table, query.average) if args.no_discovery else pc_algorithm(table)
+        if args.no_discovery and query is None:
+            print("error: --no-discovery needs --query (or --dag) to know "
+                  "the outcome attribute", file=sys.stderr)
+            return None
+        dag = no_dag(table, query.average) if args.no_discovery \
+            else pc_algorithm(table)
         source = "No-DAG baseline" if args.no_discovery else "PC causal discovery"
-        print(f"[no causal DAG supplied — using {source}: {dag.n_edges} edges]\n")
+        print(f"[no causal DAG supplied — using {source}: {dag.n_edges} edges]\n",
+              file=sys.stderr if machine_output else sys.stdout)
+    return table, dag, query, grouping_attributes, treatment_attributes, config, name
 
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    source = _load_source(args, require_query=True)
+    if source is None:
+        return 2
+    table, dag, query, grouping_attributes, treatment_attributes, config, _ = source
     summary = CauSumX(table, dag, config).explain(
         query, grouping_attributes=grouping_attributes,
         treatment_attributes=treatment_attributes)
     print(render_summary(summary, outcome=args.outcome_label))
     return 0 if summary.feasible else 1
+
+
+def _make_engine(args: argparse.Namespace):
+    """Build an engine with one registered dataset from the CLI source options."""
+    source = _load_source(args, require_query=False, machine_output=True)
+    if source is None:
+        return None
+    table, dag, _, grouping_attributes, treatment_attributes, config, name = source
+    engine = ExplanationEngine(
+        max_workers=args.max_workers,
+        summary_cache_size=getattr(args, "summary_cache_size", 256))
+    engine.register_dataset(name, table, dag=dag, config=config,
+                            grouping_attributes=grouping_attributes,
+                            treatment_attributes=treatment_attributes)
+    return engine, name
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    made = _make_engine(args)
+    if made is None:
+        return 2
+    engine, name = made
+    print(f"[serving dataset {name!r}; one JSON request per line, "
+          '{"op": "quit"} to stop]', file=sys.stderr)
+    serve_loop(engine, name, sys.stdin, sys.stdout)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    made = _make_engine(args)
+    if made is None:
+        return 2
+    engine, name = made
+    try:
+        queries = read_queries(args.queries.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read --queries file: {exc}", file=sys.stderr)
+        return 2
+    if not queries:
+        print("error: no queries found in --queries file", file=sys.stderr)
+        return 2
+    try:
+        if args.out is None:
+            run_batch(engine, name, queries, sys.stdout)
+        else:
+            with args.out.open("w") as handle:
+                run_batch(engine, name, queries, handle)
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_case_study(args: argparse.Namespace) -> int:
@@ -115,6 +223,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list_datasets()
     if args.command == "explain":
         return _cmd_explain(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     return _cmd_case_study(args)
 
 

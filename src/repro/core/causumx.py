@@ -65,6 +65,8 @@ class CauSumX:
     def explain(self, query: GroupByAvgQuery | str,
                 grouping_attributes: Sequence[str] | None = None,
                 treatment_attributes: Sequence[str] | None = None,
+                *, view: AggregateView | None = None,
+                estimator: CATEEstimator | None = None,
                 ) -> ExplanationSummary:
         """Run Algorithm 1 and return the explanation summary.
 
@@ -72,10 +74,18 @@ class CauSumX:
         automatic FD-based partition of Section 4.1 when provided (the paper's
         case studies restrict the treatment attributes this way, e.g. to
         sensitive attributes only).
+
+        ``view`` / ``estimator`` are reuse hooks for long-lived callers (the
+        ``repro.service`` engine): a pre-materialised :class:`AggregateView`
+        of this table and query, and a :class:`CATEEstimator` over the view's
+        (filtered) table.  Passing them skips re-materialisation and lets
+        many queries share one mask cache / lattice-atom cache; results are
+        identical to the self-built path.
         """
         if isinstance(query, str):
             query = parse_query(query)
-        view = AggregateView(self.table, query)
+        if view is None:
+            view = AggregateView(self.table, query)
         timings: dict[str, float] = {}
 
         # --- attribute partition -------------------------------------------------
@@ -93,7 +103,8 @@ class CauSumX:
 
         # --- step 2: treatment patterns per grouping pattern (Section 5.2) -------
         start = time.perf_counter()
-        estimator = self._estimator(view)
+        if estimator is None:
+            estimator = self._estimator(view)
         candidates = self._mine_candidates(estimator, groupings, treatment_attrs)
         timings["treatment_patterns"] = time.perf_counter() - start
 
@@ -160,13 +171,24 @@ class CauSumX:
     # ------------------------------------------------------------------ step 2
 
     def _estimator(self, view: AggregateView) -> CATEEstimator:
+        return self.build_estimator(view.table, view.query.average, self.dag,
+                                    self.config)
+
+    @staticmethod
+    def build_estimator(table: Table, outcome: str, dag: CausalDAG | None,
+                        config: CauSumXConfig) -> CATEEstimator:
+        """The estimator `explain` would build for this table/outcome/config.
+
+        Shared with the serving engine so cached populations are constructed
+        exactly like the one-shot path (results stay byte-identical).
+        """
         return CATEEstimator(
-            view.table, view.query.average, dag=self.dag,
-            adjustment=self.config.adjustment,
-            sample_size=self.config.sample_size,
-            min_group_size=self.config.min_group_size,
-            seed=self.config.seed,
-            use_cache=self.config.use_mask_cache,
+            table, outcome, dag=dag,
+            adjustment=config.adjustment,
+            sample_size=config.sample_size,
+            min_group_size=config.min_group_size,
+            seed=config.seed,
+            use_cache=config.use_mask_cache,
         )
 
     def _resolved_n_jobs(self) -> int:
@@ -231,6 +253,7 @@ class CauSumX:
             numeric_bins=cfg.treatment.numeric_bins,
             mask_cache=estimator.mask_cache,
             min_support=estimator.min_group_size,
+            atom_cache=estimator.atom_cache,
         )
         level = lattice.level_one()
         best_positive: TreatmentCandidate | None = None
@@ -271,6 +294,8 @@ class CauSumX:
             groups=view.group_keys(),
             k=cfg.k,
             theta=cfg.theta,
+            group_weights=view.group_weights()
+            if cfg.coverage_weighting == "group_size" else None,
         )
         if cfg.solver == "greedy":
             selection = greedy_selection(problem)

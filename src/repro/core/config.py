@@ -55,6 +55,14 @@ class CauSumXConfig:
         thread pool is used (rather than processes) so all workers share one
         mask cache and one table without pickling; results are deterministic
         and independent of ``n_jobs``.
+    coverage_weighting:
+        How the greedy selector scores marginal coverage: ``"uniform"``
+        (default — every group counts 1, the paper's semantics) or
+        ``"group_size"`` (groups weighted by their tuple count, taken from
+        the view's ``GroupByIndex``, so a pattern covering a few huge groups
+        can beat one covering many tiny ones).  Only the ``"greedy"`` solver
+        consults the weights; the LP/exact feasibility constraints always
+        count groups.
     seed:
         Seed for randomized rounding and sampling.
     """
@@ -74,6 +82,7 @@ class CauSumXConfig:
     treatment: TreatmentMinerConfig = field(default_factory=TreatmentMinerConfig)
     use_mask_cache: bool = True
     n_jobs: int = 1
+    coverage_weighting: str = "uniform"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -91,6 +100,9 @@ class CauSumXConfig:
             raise ValueError("k must be at least 1")
         if not isinstance(self.n_jobs, int) or (self.n_jobs < 1 and self.n_jobs != -1):
             raise ValueError("n_jobs must be a positive integer or -1")
+        if self.coverage_weighting not in {"uniform", "group_size"}:
+            raise ValueError(
+                f"unknown coverage_weighting {self.coverage_weighting!r}")
 
     def with_overrides(self, **kwargs) -> "CauSumXConfig":
         """Return a copy of the configuration with the given fields replaced."""

@@ -253,6 +253,48 @@ class Column:
             return Column._from_numeric_data(new_name, self._data)
         return Column.from_codes(new_name, self._codes, self._vocab)
 
+    def concat(self, other: "Column") -> "Column":
+        """Vertically concatenate two same-named columns.
+
+        Categorical columns *merge vocabularies* instead of re-factorizing the
+        raw values: the merged vocabulary is the sorted union of both sides'
+        vocabularies (identical to what :func:`_factorize` would produce on the
+        combined values), and each side's codes are remapped through a small
+        per-vocab-entry lookup — an O(rows) fancy-index, never a per-row Python
+        loop.  When one side's vocabulary already contains every value of the
+        other (the common append case: a large table absorbs a small batch),
+        the merged vocabulary *is* that side's vocabulary and its codes pass
+        through unchanged, so masks cached against the old codes stay valid on
+        the old prefix and can be revalidated by evaluating only the appended
+        rows.
+
+        An all-missing side carries no type information and adopts the other
+        side's kind (``NaN`` fill for numeric, sentinel codes for
+        categorical), so appending rows that omit an attribute never flips
+        the column's kind.  Genuinely mixed numeric/categorical pairs fall
+        back to re-factorizing the combined raw values as a categorical
+        column (the pre-merge semantics).
+        """
+        if self.name != other.name:
+            raise ValueError(f"cannot concat columns {self.name!r} and {other.name!r}")
+        if self.numeric != other.numeric:
+            if other.n_missing() == len(other):
+                other = _all_missing_as(other, self)
+            elif self.n_missing() == len(self):
+                self = _all_missing_as(self, other)
+        if self.numeric and other.numeric:
+            return Column._from_numeric_data(
+                self.name, np.concatenate([self._data, other._data]))
+        if not self.numeric and not other.numeric:
+            vocab, remap_self, remap_other = _merge_vocabs(self._vocab, other._vocab)
+            codes = np.concatenate([
+                self._codes if remap_self is None else remap_self[self._codes],
+                other._codes if remap_other is None else remap_other[other._codes],
+            ])
+            return Column.from_codes(self.name, codes, vocab)
+        return Column(self.name, list(self.values) + list(other.values),
+                      numeric=False)
+
 
 def _is_missing(value) -> bool:
     if value is None:
@@ -299,6 +341,48 @@ def _factorize(values) -> tuple[np.ndarray, tuple]:
         remap[first_seen[value]] = sorted_code
     remap[len(distinct)] = MISSING_CODE  # sentinel -1 wraps to the last slot
     return remap[tmp], tuple(vocab)
+
+
+def _all_missing_as(column: "Column", like: "Column") -> "Column":
+    """Re-type an all-missing column to match ``like``'s kind."""
+    n = len(column)
+    if like.numeric:
+        return Column._from_numeric_data(column.name, np.full(n, np.nan))
+    return Column.from_codes(column.name,
+                             np.full(n, MISSING_CODE, dtype=np.int32), ())
+
+
+def _merge_vocabs(a: tuple, b: tuple
+                  ) -> tuple[tuple, np.ndarray | None, np.ndarray | None]:
+    """Merge two sorted vocabularies into ``(merged, remap_a, remap_b)``.
+
+    The merged vocabulary is the sorted union (with the same ``repr``-order
+    fallback as :func:`_factorize`, so it matches a fresh factorization of the
+    combined values exactly).  ``remap_a``/``remap_b`` are old-code → new-code
+    lookup arrays (with the sentinel ``-1`` wrapping to a ``-1`` slot), or
+    ``None`` when that side's codes are already correct — which happens
+    whenever the merged vocabulary equals that side's vocabulary.
+    """
+    if a == b:
+        return a, None, None
+    union = dict.fromkeys(a)
+    union.update(dict.fromkeys(b))
+    try:
+        merged = tuple(sorted(union))
+    except TypeError:  # mixed un-orderable types
+        merged = tuple(sorted(union, key=repr))
+    index = {v: i for i, v in enumerate(merged)}
+
+    def remap_for(vocab: tuple) -> np.ndarray | None:
+        if vocab == merged:
+            return None
+        remap = np.empty(len(vocab) + 1, dtype=np.int32)
+        for old_code, value in enumerate(vocab):
+            remap[old_code] = index[value]
+        remap[len(vocab)] = MISSING_CODE  # sentinel -1 wraps to the last slot
+        return remap
+
+    return merged, remap_for(a), remap_for(b)
 
 
 def _infer_numeric(values: Sequence) -> bool:

@@ -127,6 +127,34 @@ class MaskCache:
         for predicate in predicates:
             self.predicate_mask(predicate)
 
+    def extended(self, new_table, appended_table) -> "MaskCache":
+        """Revalidate all cached masks onto ``new_table`` after a row append.
+
+        ``new_table`` must be this cache's table plus the rows of
+        ``appended_table`` (in that order) — the situation produced by
+        ``Table.concat`` during an incremental data arrival.  A predicate's
+        mask over the old prefix cannot change (it depends only on row
+        *values*, which an append preserves even when vocabularies merge), so
+        every cached mask is revalidated by evaluating the predicate on the
+        appended rows only and concatenating — O(appended) per entry instead
+        of O(total).
+
+        Returns a fresh cache over ``new_table`` with zeroed hit/miss
+        accounting.
+        """
+        if self.table.n_rows + appended_table.n_rows != new_table.n_rows:
+            raise ValueError("new_table must be the old table plus appended_table")
+        extended = MaskCache(new_table)
+        with self._lock:
+            entries = list(self._masks.items())
+        for key, mask in entries:
+            attribute, op, value = key
+            suffix = Predicate(attribute, op, value).evaluate(appended_table)
+            new_mask = np.concatenate([mask, suffix])
+            new_mask.setflags(write=False)
+            extended._masks[key] = new_mask
+        return extended
+
     # ------------------------------------------------------------------ stats
 
     def stats(self) -> CacheStats:

@@ -224,13 +224,18 @@ class Table:
         }
 
     def concat(self, other: "Table") -> "Table":
-        """Vertically concatenate two tables with identical schemas."""
+        """Vertically concatenate two tables with identical schemas.
+
+        Categorical columns merge their vocabularies (:meth:`Column.concat`)
+        instead of re-factorizing the combined raw values, so appending a
+        small batch to a large table costs O(batch + vocab), and whenever one
+        side's vocabulary subsumes the other's, that side's codes are
+        preserved verbatim.  The result is indistinguishable from building
+        the table from the combined rows from scratch (same vocabularies,
+        same codes).
+        """
         if self.attributes != other.attributes:
             raise ValueError("schemas differ")
-        cols = []
-        for attr in self.attributes:
-            a, b = self.column(attr), other.column(attr)
-            numeric = a.numeric and b.numeric
-            values = list(a.values) + list(b.values)
-            cols.append(Column(attr, values, numeric=numeric))
+        cols = [self.column(attr).concat(other.column(attr))
+                for attr in self.attributes]
         return Table(cols, name=self.name)

@@ -30,13 +30,14 @@ class PatternLattice:
 
     def __init__(self, table: Table, attributes: Sequence[str],
                  max_values_per_attribute: int = 20, numeric_bins: int = 3,
-                 mask_cache=None, min_support: int = 1):
+                 mask_cache=None, min_support: int = 1, atom_cache: dict | None = None):
         self.table = table
         self.attributes = list(attributes)
         self.max_values_per_attribute = max_values_per_attribute
         self.numeric_bins = numeric_bins
         self.mask_cache = mask_cache
         self.min_support = min_support
+        self.atom_cache = atom_cache
 
     # ------------------------------------------------------------------ level 1
 
@@ -47,7 +48,21 @@ class PatternLattice:
         frequent values.  Numeric attributes with many distinct values produce
         threshold predicates (``<=`` / ``>``) at quantile cut points, mirroring
         the binned treatments used in the paper's experiments.
+
+        With an ``atom_cache`` (a plain dict shared by the caller, typically
+        via :class:`~repro.causal.CATEEstimator`), the enumerated atoms are
+        memoized per generation parameters, so repeated lattices over the same
+        table — one per (grouping pattern, direction) — enumerate them once.
+        The enumeration is deterministic, so concurrent miners that race on a
+        cold cache store identical values.
         """
+        if self.atom_cache is not None:
+            cache_key = (tuple(self.attributes), self.max_values_per_attribute,
+                         self.numeric_bins,
+                         self.min_support if self.mask_cache is not None else None)
+            cached = self.atom_cache.get(cache_key)
+            if cached is not None:
+                return list(cached)
         predicates: list[Predicate] = []
         for attribute in self.attributes:
             column = self.table.column(attribute)
@@ -66,6 +81,8 @@ class PatternLattice:
         if self.mask_cache is not None and self.min_support > 0:
             predicates = [p for p in predicates
                           if self.mask_cache.support(p) >= self.min_support]
+        if self.atom_cache is not None:
+            self.atom_cache[cache_key] = tuple(predicates)
         return predicates
 
     def _numeric_predicates(self, attribute: str) -> list[Predicate]:

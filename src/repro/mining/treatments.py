@@ -93,6 +93,7 @@ def mine_top_treatment(estimator: CATEEstimator, grouping_pattern: Pattern,
         numeric_bins=config.numeric_bins,
         mask_cache=estimator.mask_cache,
         min_support=estimator.min_group_size,
+        atom_cache=estimator.atom_cache,
     )
     sign = 1.0 if direction == "+" else -1.0
 
@@ -194,6 +195,7 @@ def mine_top_k_treatments(estimator: CATEEstimator, grouping_pattern: Pattern,
         numeric_bins=config.numeric_bins,
         mask_cache=estimator.mask_cache,
         min_support=estimator.min_group_size,
+        atom_cache=estimator.atom_cache,
     )
     sign = 1.0 if direction == "+" else -1.0
     collected: dict[Pattern, TreatmentCandidate] = {}

@@ -3,9 +3,20 @@
 The strategy iteratively selects the explanation pattern with the best
 combination of explainability and marginal coverage gain, without any guarantee
 of satisfying the coverage constraint.
+
+The marginal-coverage computation is vectorized: pattern coverage is an
+``(n_patterns, m)`` boolean incidence matrix over the view's group ids (the
+same dense ids the dataframe layer's :class:`~repro.dataframe.GroupByIndex`
+factorizes), and every round scores all candidates with one matrix-vector
+product instead of a per-group Python set difference.  When the problem
+carries ``group_weights`` (e.g. group sizes from the view's index), marginal
+coverage is weighted group mass; with uniform weights the scores — and
+therefore the selection — are identical to the historical set-based loop.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.optimize.ilp import CoverageILP, Selection
 
@@ -16,31 +27,39 @@ def greedy_selection(problem: CoverageILP, coverage_weight: float = 1.0) -> Sele
     Each step picks the unused pattern maximising
     ``weight + coverage_weight * marginal_coverage`` (after normalising both
     terms to comparable scales), skipping patterns whose covered-group set was
-    already selected (incomparability constraint).
+    already selected (incomparability constraint).  Ties go to the lowest
+    pattern index, matching the original sequential scan.
     """
-    chosen: list[int] = []
-    covered: set = set()
-    taken_coverages: set[frozenset] = set()
-    max_weight = max([abs(w) for w in problem.weights], default=1.0) or 1.0
-    m = max(problem.m, 1)
+    n = problem.n_patterns
+    weights = np.asarray(problem.weights, dtype=np.float64)
+    max_weight = float(np.abs(weights).max()) if n else 1.0
+    max_weight = max_weight or 1.0
+    incidence = problem.coverage_matrix()
+    group_weights = problem.group_weight_array()
+    total_mass = float(group_weights.sum())
+    # With uniform weights this is max(m, 1), reproducing the historical
+    # ``marginal / m`` normalisation exactly.
+    denominator = total_mass if total_mass > 0 else 1.0
 
-    while len(chosen) < problem.k:
-        best_j = None
-        best_score = float("-inf")
-        for j in range(problem.n_patterns):
-            if j in chosen:
-                continue
-            coverage = problem.coverage[j]
-            if coverage in taken_coverages:
-                continue
-            marginal = len(coverage - covered)
-            score = problem.weights[j] / max_weight + coverage_weight * marginal / m
-            if score > best_score:
-                best_score = score
-                best_j = j
-        if best_j is None:
+    chosen: list[int] = []
+    eligible = np.ones(n, dtype=bool)
+    uncovered = np.ones(problem.m, dtype=bool)
+    taken_coverages: set[frozenset] = set()
+
+    while len(chosen) < problem.k and eligible.any():
+        gains = incidence @ (group_weights * uncovered)
+        scores = weights / max_weight + coverage_weight * gains / denominator
+        scores[~eligible] = -np.inf
+        best_j = int(np.argmax(scores))  # first maximum, like the old scan
+        if not np.isfinite(scores[best_j]):
             break
         chosen.append(best_j)
-        covered |= problem.coverage[best_j]
+        eligible[best_j] = False
+        uncovered &= ~incidence[best_j]
         taken_coverages.add(problem.coverage[best_j])
+        # Incomparability: patterns repeating an already-taken coverage set
+        # can never be selected any more.
+        for j in np.nonzero(eligible)[0]:
+            if problem.coverage[j] in taken_coverages:
+                eligible[j] = False
     return problem.selection(chosen)

@@ -1,0 +1,24 @@
+"""The explanation-serving layer: a persistent engine above the framework.
+
+``repro.service`` turns the one-shot ``CauSumX.explain`` pipeline into a
+long-lived, cache-backed service: datasets are registered once, queries are
+canonicalised and fingerprinted, summaries are served through a multi-level
+cache hierarchy with single-flighted computation, batches deduplicate and
+parallelise, and new data arrives incrementally via versioned appends.  See
+:class:`ExplanationEngine` for the full contract.
+"""
+
+from repro.service.engine import DatasetState, ExplanationEngine
+from repro.service.lru import LRUCache, LRUStats
+from repro.service.server import handle_request, read_queries, run_batch, serve_loop
+
+__all__ = [
+    "DatasetState",
+    "ExplanationEngine",
+    "LRUCache",
+    "LRUStats",
+    "handle_request",
+    "read_queries",
+    "run_batch",
+    "serve_loop",
+]

@@ -1,0 +1,466 @@
+"""The explanation-serving engine: persistent state shared across queries.
+
+A one-shot ``CauSumX(table, dag).explain(sql)`` call re-parses the SQL,
+re-materialises the aggregate view, re-enumerates lattice atoms, and
+re-evaluates every predicate mask from scratch.  :class:`ExplanationEngine`
+is the long-lived alternative an interactive service needs: datasets are
+registered once, queries are canonicalised and fingerprinted, and results are
+served through a hierarchy of caches —
+
+1. **plan cache** — SQL text → parsed :class:`~repro.sql.GroupByAvgQuery`;
+2. **view cache** — canonical query → materialised
+   :class:`~repro.sql.AggregateView` (one ``GroupByIndex``, group keys,
+   averages) per dataset version;
+3. **population cache** — (WHERE clause, outcome) → a
+   :class:`~repro.causal.CATEEstimator` whose shared
+   :class:`~repro.dataframe.MaskCache` and lattice-atom cache are reused by
+   *every* query over that filtered population, whatever it groups by;
+4. **summary cache** — fingerprint → finished
+   :class:`~repro.core.ExplanationSummary` (LRU with hit/miss/eviction
+   statistics).
+
+Identical in-flight requests are *single-flighted*: concurrent callers with
+the same fingerprint block on one computation and all receive the identical
+summary object.  ``explain_many`` additionally deduplicates fingerprints
+within a batch and fans distinct queries out over a thread pool.
+
+Data is versioned: :meth:`append_rows` concatenates new rows onto a
+registered table (merging dictionary vocabularies, see ``Table.concat``),
+bumps the dataset's monotonic data version, and invalidates exactly the
+cache entries tied to older versions.  Cached predicate masks are carried
+forward cheaply by evaluating only the appended rows
+(:meth:`~repro.dataframe.MaskCache.extended`).
+
+Results are *byte-identical* to fresh one-shot runs on the same canonical
+query: every cache level only removes recomputation, never changes inputs
+(``benchmarks/bench_engine_cache.py`` gates this).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Sequence
+
+from repro.causal import CATEEstimator
+from repro.core import CauSumX, CauSumXConfig, ExplanationSummary
+from repro.dataframe import Pattern, Table
+from repro.graph import CausalDAG
+from repro.service.lru import LRUCache
+from repro.sql import (
+    AggregateView,
+    GroupByAvgQuery,
+    normalize_literal,
+    normalize_query,
+    parse_query,
+    query_fingerprint,
+)
+
+
+@dataclass(frozen=True)
+class DatasetState:
+    """An immutable snapshot of one registered dataset at one data version."""
+
+    name: str
+    table: Table
+    dag: CausalDAG | None
+    config: CauSumXConfig
+    grouping_attributes: tuple[str, ...] | None
+    treatment_attributes: tuple[str, ...] | None
+    version: int = 0
+
+
+@dataclass
+class _Population:
+    """A cached filtered population: its WHERE pattern and shared estimator."""
+
+    where: Pattern
+    estimator: CATEEstimator
+
+
+@dataclass
+class _Flight:
+    """Bookkeeping for one in-flight summary computation (single-flight)."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    summary: ExplanationSummary | None = None
+    error: BaseException | None = None
+
+
+class ExplanationEngine:
+    """Serves explanation summaries for registered datasets, statefully.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread-pool width for :meth:`explain_many` batches (``1`` = serial).
+    summary_cache_size / view_cache_size / population_cache_size /
+    plan_cache_size:
+        Capacities of the four cache levels.
+    """
+
+    def __init__(self, max_workers: int = 4, summary_cache_size: int = 256,
+                 view_cache_size: int = 64, population_cache_size: int = 32,
+                 plan_cache_size: int = 512):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers
+        self._datasets: dict[str, DatasetState] = {}
+        self._datasets_lock = threading.Lock()
+        # Serialises mutations (append_rows) without blocking readers: the
+        # heavy table/mask construction happens under this lock only, while
+        # _datasets_lock is held just for the snapshot and the final swap.
+        self._mutation_lock = threading.Lock()
+        self._plan_cache = LRUCache(plan_cache_size)
+        self._view_cache = LRUCache(view_cache_size)
+        self._population_cache = LRUCache(population_cache_size)
+        self._summary_cache = LRUCache(summary_cache_size)
+        self._flights: dict[tuple, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._computations = 0
+        self._coalesced = 0
+        self._batch_deduped = 0
+
+    # ------------------------------------------------------------------ registration
+
+    def register_dataset(self, name: str, table: Table,
+                         dag: CausalDAG | None = None,
+                         config: CauSumXConfig | None = None,
+                         grouping_attributes: Sequence[str] | None = None,
+                         treatment_attributes: Sequence[str] | None = None,
+                         ) -> DatasetState:
+        """Register (or replace) a dataset under ``name``.
+
+        Re-registering an existing name installs the new table/DAG/config and
+        bumps the data version, invalidating every cache entry of the old
+        registration.
+        """
+        with self._mutation_lock, self._datasets_lock:
+            previous = self._datasets.get(name)
+            version = previous.version + 1 if previous is not None else 0
+            state = DatasetState(
+                name=name, table=table, dag=dag,
+                config=config or CauSumXConfig(),
+                grouping_attributes=tuple(grouping_attributes)
+                if grouping_attributes is not None else None,
+                treatment_attributes=tuple(treatment_attributes)
+                if treatment_attributes is not None else None,
+                version=version,
+            )
+            self._datasets[name] = state
+            if previous is not None:
+                self._invalidate(name)
+            return state
+
+    def register_bundle(self, bundle, config: CauSumXConfig | None = None,
+                        name: str | None = None) -> DatasetState:
+        """Register a :class:`~repro.datasets.DatasetBundle` in one call."""
+        return self.register_dataset(
+            name or bundle.name, bundle.table, dag=bundle.dag, config=config,
+            grouping_attributes=bundle.grouping_attributes,
+            treatment_attributes=bundle.treatment_attributes,
+        )
+
+    def datasets(self) -> list[str]:
+        with self._datasets_lock:
+            return sorted(self._datasets)
+
+    def dataset_state(self, name: str) -> DatasetState:
+        with self._datasets_lock:
+            if name not in self._datasets:
+                raise KeyError(f"unknown dataset {name!r}; registered: "
+                               f"{sorted(self._datasets)}")
+            return self._datasets[name]
+
+    # ------------------------------------------------------------------ serving
+
+    def explain(self, name: str, query: GroupByAvgQuery | str,
+                use_summary_cache: bool = True) -> ExplanationSummary:
+        """Serve one explanation summary (cached, single-flighted)."""
+        return self.explain_with_info(name, query, use_summary_cache)[0]
+
+    def explain_with_info(self, name: str, query: GroupByAvgQuery | str,
+                          use_summary_cache: bool = True,
+                          ) -> tuple[ExplanationSummary, dict]:
+        """Like :meth:`explain` but also return serving metadata.
+
+        The info dictionary reports the query ``fingerprint``, the dataset
+        ``version`` served, wall-clock ``seconds``, and whether the summary
+        came from the cache (``cached``) or from another thread's concurrent
+        computation (``coalesced``).
+        """
+        start = time.perf_counter()
+        state = self.dataset_state(name)
+        canonical = self._canonical(query)
+        fingerprint = query_fingerprint(canonical)
+        key = (name, state.version, fingerprint)
+        info = {"dataset": name, "version": state.version,
+                "fingerprint": fingerprint, "cached": False, "coalesced": False}
+
+        if use_summary_cache:
+            summary = self._summary_cache.get(key)
+            if summary is not None:
+                info["cached"] = True
+                info["seconds"] = time.perf_counter() - start
+                return summary, info
+
+        while True:
+            with self._flights_lock:
+                flight = self._flights.get(key)
+                leader = flight is None
+                if leader:
+                    flight = _Flight()
+                    self._flights[key] = flight
+            if leader:
+                try:
+                    summary = self._compute(state, canonical)
+                    if use_summary_cache:
+                        self._summary_cache.put(key, summary)
+                    flight.summary = summary
+                except BaseException as exc:
+                    flight.error = exc
+                    raise
+                finally:
+                    with self._flights_lock:
+                        self._flights.pop(key, None)
+                    flight.done.set()
+                info["seconds"] = time.perf_counter() - start
+                return summary, info
+            flight.done.wait()
+            if flight.error is None and flight.summary is not None:
+                with self._flights_lock:
+                    self._coalesced += 1
+                info["coalesced"] = True
+                info["seconds"] = time.perf_counter() - start
+                return flight.summary, info
+            # The leader failed; retry (and possibly become the leader).
+
+    def explain_many(self, name: str, queries: Sequence[GroupByAvgQuery | str],
+                     use_summary_cache: bool = True) -> list[ExplanationSummary]:
+        """Serve a batch of queries, deduplicating identical fingerprints.
+
+        Duplicate queries are computed once; distinct queries run concurrently
+        on the engine's thread pool (sharing the population-level caches).
+        Results are returned in input order, duplicates receiving the same
+        summary object.
+        """
+        canonicals = [self._canonical(q) for q in queries]
+        fingerprints = [query_fingerprint(c) for c in canonicals]
+        first_index: dict[str, int] = {}
+        for i, fp in enumerate(fingerprints):
+            first_index.setdefault(fp, i)
+        with self._flights_lock:
+            self._batch_deduped += len(queries) - len(first_index)
+
+        def run(i: int) -> ExplanationSummary:
+            return self.explain(name, canonicals[i], use_summary_cache)
+
+        distinct = list(first_index.values())
+        if self.max_workers == 1 or len(distinct) <= 1:
+            computed = {fingerprints[i]: run(i) for i in distinct}
+        else:
+            with ThreadPoolExecutor(
+                    max_workers=min(self.max_workers, len(distinct))) as pool:
+                futures = {fingerprints[i]: pool.submit(run, i) for i in distinct}
+                computed = {fp: f.result() for fp, f in futures.items()}
+        return [computed[fp] for fp in fingerprints]
+
+    # ------------------------------------------------------------------ incremental data
+
+    def append_rows(self, name: str,
+                    rows: Table | Sequence[Mapping]) -> dict:
+        """Append rows to a registered dataset and bump its data version.
+
+        The new table is built with ``Table.concat`` (vocabulary merge, no
+        re-factorization of the existing rows).  Every cache entry tied to
+        the old data version is invalidated; cached populations are carried
+        forward with their predicate masks *extended* — each mask is
+        revalidated by evaluating its predicate on the appended rows only.
+
+        Appends are serialised against each other, but readers keep serving
+        the old data version during the heavy construction work; only the
+        final snapshot swap + cache invalidation takes the registry lock.
+        """
+        with self._mutation_lock:
+            state = self.dataset_state(name)
+            if isinstance(rows, Table):
+                appended = rows
+            else:
+                rows = list(rows)
+                if not rows:
+                    return {"dataset": name, "version": state.version,
+                            "appended_rows": 0, "n_rows": state.table.n_rows,
+                            "invalidated": 0, "masks_carried": 0}
+                unknown = set()
+                for row in rows:
+                    unknown.update(set(row) - set(state.table.attributes))
+                if unknown:
+                    raise ValueError(
+                        f"appended rows carry unknown attribute(s) "
+                        f"{sorted(unknown)}; dataset {name!r} schema is "
+                        f"{list(state.table.attributes)}")
+                appended = Table.from_rows(rows, schema=list(state.table.attributes))
+            if appended.attributes != state.table.attributes:
+                raise ValueError(
+                    f"appended rows have schema {list(appended.attributes)}, "
+                    f"dataset {name!r} has {list(state.table.attributes)}")
+            for attribute in state.table.attributes:
+                incoming = appended.column(attribute)
+                if incoming.numeric != state.table.is_numeric(attribute) \
+                        and incoming.n_missing() < len(incoming):
+                    kind = "numeric" if state.table.is_numeric(attribute) \
+                        else "categorical"
+                    raise ValueError(
+                        f"appended values for {attribute!r} do not match the "
+                        f"dataset's {kind} column kind")
+            new_table = state.table.concat(appended)
+            new_state = replace(state, table=new_table, version=state.version + 1)
+
+            # Carry cached populations to the new version with extended masks.
+            # Populations cached after this snapshot simply are not carried —
+            # they get invalidated with the rest and rebuilt cold on demand.
+            carried = []
+            masks_carried = 0
+            for key, population in self._population_cache.items():
+                key_name, key_version, where_key, average = key
+                if key_name != name or key_version != state.version:
+                    continue
+                where = population.where
+                empty = where.is_empty()
+                appended_part = appended if empty else appended.select(where)
+                new_filtered = new_table if empty else new_table.select(where)
+                estimator = self._make_estimator(new_state, new_filtered, average)
+                old_cache = population.estimator.mask_cache
+                if old_cache is not None and estimator.mask_cache is not None:
+                    estimator.mask_cache = old_cache.extended(
+                        new_filtered, appended_part)
+                    masks_carried += len(estimator.mask_cache)
+                carried.append(((name, new_state.version, where_key, average),
+                                _Population(where, estimator)))
+
+            with self._datasets_lock:
+                invalidated = self._invalidate(name)
+                for key, population in carried:
+                    self._population_cache.put(key, population)
+                self._datasets[name] = new_state
+            return {"dataset": name, "version": new_state.version,
+                    "appended_rows": appended.n_rows,
+                    "n_rows": new_table.n_rows,
+                    "invalidated": invalidated,
+                    "masks_carried": masks_carried}
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> dict:
+        """A JSON-compatible snapshot of all cache levels and serving counters."""
+        with self._datasets_lock:
+            datasets = {
+                state.name: {"version": state.version,
+                             "rows": state.table.n_rows,
+                             "attributes": state.table.n_cols}
+                for state in self._datasets.values()
+            }
+        mask_stats = {"hits": 0, "misses": 0, "entries": 0, "bytes": 0}
+        for _, population in self._population_cache.items():
+            cache = population.estimator.mask_cache
+            if cache is None:
+                continue
+            snapshot = cache.stats()
+            mask_stats["hits"] += snapshot.hits
+            mask_stats["misses"] += snapshot.misses
+            mask_stats["entries"] += snapshot.entries
+            mask_stats["bytes"] += snapshot.bytes
+
+        def level(cache: LRUCache) -> dict:
+            snapshot = cache.stats()
+            return {"hits": snapshot.hits, "misses": snapshot.misses,
+                    "evictions": snapshot.evictions,
+                    "invalidations": snapshot.invalidations,
+                    "entries": snapshot.entries, "capacity": snapshot.capacity,
+                    "hit_rate": round(snapshot.hit_rate, 4)}
+
+        with self._flights_lock:
+            computations = self._computations
+            coalesced = self._coalesced
+            batch_deduped = self._batch_deduped
+        return {
+            "datasets": datasets,
+            "plan_cache": level(self._plan_cache),
+            "view_cache": level(self._view_cache),
+            "population_cache": level(self._population_cache),
+            "summary_cache": level(self._summary_cache),
+            "mask_caches": mask_stats,
+            "computations": computations,
+            "coalesced": coalesced,
+            "batch_deduped": batch_deduped,
+        }
+
+    @property
+    def computations(self) -> int:
+        """Number of full summary computations performed (cache misses)."""
+        with self._flights_lock:
+            return self._computations
+
+    # ------------------------------------------------------------------ internals
+
+    def _canonical(self, query: GroupByAvgQuery | str) -> GroupByAvgQuery:
+        if isinstance(query, str):
+            parsed = self._plan_cache.get(query)
+            if parsed is None:
+                parsed = parse_query(query)
+                self._plan_cache.put(query, parsed)
+            query = parsed
+        return normalize_query(query)
+
+    @staticmethod
+    def _where_key(where: Pattern) -> tuple:
+        return tuple((p.attribute, p.op.value, repr(normalize_literal(p.value)))
+                     for p in where)
+
+    def _compute(self, state: DatasetState,
+                 canonical: GroupByAvgQuery) -> ExplanationSummary:
+        with self._flights_lock:
+            self._computations += 1
+        view = self._view(state, canonical)
+        population = self._population(state, canonical, view)
+        algorithm = CauSumX(state.table, state.dag, state.config)
+        return algorithm.explain(
+            canonical,
+            grouping_attributes=state.grouping_attributes,
+            treatment_attributes=state.treatment_attributes,
+            view=view, estimator=population.estimator)
+
+    def _view(self, state: DatasetState,
+              canonical: GroupByAvgQuery) -> AggregateView:
+        key = (state.name, state.version, query_fingerprint(canonical))
+        view = self._view_cache.get(key)
+        if view is None:
+            view = AggregateView(state.table, canonical)
+            self._view_cache.put(key, view)
+        return view
+
+    def _population(self, state: DatasetState, canonical: GroupByAvgQuery,
+                    view: AggregateView) -> _Population:
+        key = (state.name, state.version, self._where_key(canonical.where),
+               canonical.average)
+        population = self._population_cache.get(key)
+        if population is None:
+            estimator = self._make_estimator(state, view.table, canonical.average)
+            population = _Population(canonical.where, estimator)
+            self._population_cache.put(key, population)
+        return population
+
+    @staticmethod
+    def _make_estimator(state: DatasetState, table: Table,
+                        average: str) -> CATEEstimator:
+        return CauSumX.build_estimator(table, average, state.dag, state.config)
+
+    def _invalidate(self, name: str) -> int:
+        """Drop every cache entry belonging to dataset ``name`` (any version)."""
+        invalidated = 0
+        for cache in (self._summary_cache, self._view_cache,
+                      self._population_cache):
+            invalidated += cache.purge(lambda key: key[0] == name)
+        return invalidated

@@ -1,0 +1,112 @@
+"""A small thread-safe LRU cache with hit/miss/eviction/invalidation stats.
+
+Backs every cache level of the explanation engine (parsed plans, materialised
+views, bound populations, finished summaries).  Deliberately minimal: plain
+``OrderedDict`` + lock, no TTLs — entries are invalidated explicitly when a
+dataset's data version moves (:meth:`purge`), and capacity evictions drop the
+least recently *used* entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+
+@dataclass(frozen=True)
+class LRUStats:
+    """A snapshot of :class:`LRUCache` accounting."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    entries: int
+    capacity: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """Least-recently-used mapping with bounded capacity and usage accounting."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def get(self, key: Hashable, default=None):
+        """Look up ``key``, marking it most recently used.  Counts a hit/miss."""
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self._misses += 1
+            return default
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert/overwrite ``key``, evicting the LRU entry when over capacity."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def peek(self, key: Hashable, default=None):
+        """Look up ``key`` without touching recency or hit/miss accounting."""
+        with self._lock:
+            return self._entries.get(key, default)
+
+    def purge(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate`` (invalidation).
+
+        Returns the number of entries removed.
+        """
+        with self._lock:
+            doomed = [k for k in self._entries if predicate(k)]
+            for k in doomed:
+                del self._entries[k]
+            self._invalidations += len(doomed)
+            return len(doomed)
+
+    def items(self) -> Iterable[tuple]:
+        """A point-in-time snapshot of ``(key, value)`` pairs."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._invalidations += len(self._entries)
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> LRUStats:
+        with self._lock:
+            return LRUStats(hits=self._hits, misses=self._misses,
+                            evictions=self._evictions,
+                            invalidations=self._invalidations,
+                            entries=len(self._entries), capacity=self.capacity)

@@ -1,0 +1,124 @@
+"""Request-loop front ends for the explanation engine.
+
+Two entry points, both wired into the CLI:
+
+* :func:`serve_loop` — a JSON-lines request/response loop (``repro serve``).
+  Each input line is either a bare SQL string (shorthand for an ``explain``
+  request) or a JSON object::
+
+      {"op": "explain", "query": "SELECT ...", "id": 7}
+      {"op": "batch", "queries": ["SELECT ...", ...]}
+      {"op": "append_rows", "rows": [{"A": 1, ...}, ...]}
+      {"op": "stats"}
+      {"op": "quit"}
+
+  Every request yields exactly one JSON response line with ``"ok"`` set, the
+  request's ``"id"`` echoed back (when given), and either the payload or an
+  ``"error"`` string; ``quit`` is acknowledged with ``{"ok": true, "quit":
+  true}`` before the loop stops.  The loop never crashes on a bad request.
+
+* :func:`run_batch` — read a file of queries (one SQL statement per line,
+  ``#`` comments allowed, or a JSON array of strings), serve them through
+  :meth:`~repro.service.ExplanationEngine.explain_many`, and emit the JSON
+  summaries (``repro batch``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.core import summary_to_dict
+from repro.service.engine import ExplanationEngine
+
+
+def handle_request(engine: ExplanationEngine, dataset: str, line: str) -> dict:
+    """Handle one request line and return the response dict.
+
+    A ``quit`` request is acknowledged with ``{"ok": True, "quit": True}`` —
+    the caller decides to stop on the ``"quit"`` marker.
+    """
+    line = line.strip()
+    if not line:
+        return {"ok": False, "error": "empty request"}
+    request_id = None
+    try:
+        if line.startswith("{"):
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object or a SQL string")
+        else:
+            request = {"op": "explain", "query": line}
+        request_id = request.get("id")
+        op = request.get("op", "explain")
+        target = request.get("dataset", dataset)
+        if op == "quit":
+            response = {"ok": True, "quit": True}
+            if request_id is not None:
+                response["id"] = request_id
+            return response
+        if op == "explain":
+            summary, info = engine.explain_with_info(target, request["query"])
+            response = {"ok": True, "result": summary_to_dict(summary),
+                        "cached": info["cached"], "coalesced": info["coalesced"],
+                        "fingerprint": info["fingerprint"],
+                        "version": info["version"]}
+        elif op == "batch":
+            summaries = engine.explain_many(target, list(request["queries"]))
+            response = {"ok": True,
+                        "results": [summary_to_dict(s) for s in summaries]}
+        elif op == "append_rows":
+            response = {"ok": True,
+                        "result": engine.append_rows(target, request["rows"])}
+        elif op == "stats":
+            response = {"ok": True, "result": engine.stats()}
+        else:
+            raise ValueError(f"unknown op {op!r}")
+    except Exception as exc:  # noqa: BLE001 — protocol boundary, report and carry on
+        response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def serve_loop(engine: ExplanationEngine, dataset: str,
+               lines: Iterable[str], out: IO[str]) -> int:
+    """Run the JSON-lines loop until EOF or a ``quit`` request.
+
+    Returns the number of requests handled.
+    """
+    handled = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        response = handle_request(engine, dataset, line)
+        handled += 1
+        out.write(json.dumps(response, default=str) + "\n")
+        out.flush()
+        if response.get("quit"):
+            break
+    return handled
+
+
+def read_queries(text: str) -> list[str]:
+    """Parse a batch-query file: a JSON array of strings, or one SQL per line."""
+    stripped = text.strip()
+    if stripped.startswith("["):
+        queries = json.loads(stripped)
+        if not isinstance(queries, list) or \
+                not all(isinstance(q, str) for q in queries):
+            raise ValueError("JSON query file must be an array of SQL strings")
+        return queries
+    return [line.strip() for line in text.splitlines()
+            if line.strip() and not line.lstrip().startswith("#")]
+
+
+def run_batch(engine: ExplanationEngine, dataset: str,
+              queries: list[str], out: IO[str]) -> list[dict]:
+    """Serve a list of queries and write one JSON array of summaries to ``out``."""
+    summaries = engine.explain_many(dataset, queries)
+    payload = [summary_to_dict(s) for s in summaries]
+    json.dump(payload, out, indent=2, default=str)
+    out.write("\n")
+    out.flush()
+    return payload

@@ -1,6 +1,15 @@
 """Group-by-average query layer (the class of queries CauSumX explains)."""
 
 from repro.sql.query import GroupByAvgQuery, parse_query
+from repro.sql.normalize import normalize_literal, normalize_query, query_fingerprint
 from repro.sql.view import AggregateView, GroupResult
 
-__all__ = ["GroupByAvgQuery", "parse_query", "AggregateView", "GroupResult"]
+__all__ = [
+    "GroupByAvgQuery",
+    "parse_query",
+    "normalize_literal",
+    "normalize_query",
+    "query_fingerprint",
+    "AggregateView",
+    "GroupResult",
+]

@@ -1,0 +1,83 @@
+"""Canonicalization and fingerprinting of group-by-average queries.
+
+The explanation service (``repro.service``) must recognise that two
+syntactically different requests ask the same question so it can serve one
+cached summary for both.  Two layers provide that:
+
+* :func:`normalize_query` rewrites a query into a *canonical form*: group-by
+  attributes in sorted order, WHERE literals normalised (numpy scalars
+  unwrapped, integral floats collapsed to ``int``), and — because
+  :class:`~repro.dataframe.Pattern` already sorts and deduplicates its
+  predicates — a canonical WHERE clause.  The canonical query is the one the
+  engine executes, so permutations of the same request map to one summary
+  (group keys follow the canonical attribute order).
+* :func:`query_fingerprint` hashes the canonical form into a stable, hashable
+  cache key.  The table name is *not* part of the fingerprint (it is
+  informational only; the served dataset is addressed separately).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.dataframe import Pattern, Predicate
+from repro.sql.query import GroupByAvgQuery
+
+
+def normalize_literal(value):
+    """Collapse equivalent literal spellings onto one canonical value.
+
+    ``numpy`` scalars are unwrapped and floats holding an integral value
+    become ``int`` (``30.0`` → ``30``).  This is safe for evaluation: numeric
+    predicate kernels compare through ``float(value)`` and categorical
+    vocabulary lookups hash ``30`` and ``30.0`` identically.  Booleans are
+    kept as-is (they are their own spelling).
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float) and not np.isnan(value) and not np.isinf(value) \
+            and value.is_integer():
+        return int(value)
+    return value
+
+
+def normalize_query(query: GroupByAvgQuery) -> GroupByAvgQuery:
+    """Return the canonical form of a query (idempotent).
+
+    Group-by attributes are sorted, WHERE literals are normalised, and the
+    predicate order/deduplication is canonicalised by ``Pattern`` itself.
+    """
+    group_by = tuple(sorted(query.group_by))
+    where = Pattern(Predicate(p.attribute, p.op, normalize_literal(p.value))
+                    for p in query.where)
+    # Predicate equality treats 30 == 30.0, so compare literal *spellings*
+    # to decide whether anything actually changed.
+    def spelling(pattern: Pattern) -> tuple:
+        return tuple((p.attribute, p.op, repr(p.value)) for p in pattern)
+
+    if group_by == query.group_by and spelling(where) == spelling(query.where):
+        return query
+    return GroupByAvgQuery(group_by=group_by, average=query.average,
+                           where=where, table_name=query.table_name)
+
+
+def query_fingerprint(query: GroupByAvgQuery) -> str:
+    """A stable hex digest identifying the canonical form of ``query``.
+
+    Queries that normalise to the same canonical form share a fingerprint;
+    the digest is independent of the table name and of the process (no
+    ``id()``/hash-randomised content).
+    """
+    canonical = normalize_query(query)
+    parts = [
+        "gb=" + ",".join(canonical.group_by),
+        "avg=" + canonical.average,
+        "where=" + "&".join(
+            f"{p.attribute}{p.op.value}{type(p.value).__name__}:{p.value!r}"
+            for p in canonical.where),
+    ]
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:16]

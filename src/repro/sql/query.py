@@ -96,15 +96,28 @@ def parse_query(sql: str) -> GroupByAvgQuery:
         raise ValueError("query must contain an AVG(attribute) aggregate")
     average = avg_match.group("attr")
     group_by = [a.strip() for a in match.group("groupby").split(",") if a.strip()]
+    duplicates = sorted({a for a in group_by if group_by.count(a) > 1})
+    if duplicates:
+        raise ValueError(
+            f"duplicate GROUP BY attribute(s) {', '.join(duplicates)} "
+            f"in {match.group('groupby').strip()!r}")
     where = Pattern()
     if match.group("where"):
         predicates = []
         for raw in re.split(r"\s+AND\s+", match.group("where"), flags=re.IGNORECASE):
             cond = _CONDITION_RE.match(raw)
             if not cond:
-                raise ValueError(f"cannot parse WHERE condition {raw!r}")
-            predicates.append(Predicate(cond.group("attr"), cond.group("op"),
-                                        _parse_literal(cond.group("value"))))
+                raise ValueError(f"cannot parse WHERE condition {raw.strip()!r}")
+            if cond.group("value").lstrip()[:1] in {"<", ">", "=", "!"}:
+                # `age >> 30` would otherwise parse as age > "> 30".
+                raise ValueError(
+                    f"malformed comparison in WHERE condition {raw.strip()!r}")
+            try:
+                value = _parse_literal(cond.group("value"))
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad literal in WHERE condition {raw.strip()!r}: {exc}") from exc
+            predicates.append(Predicate(cond.group("attr"), cond.group("op"), value))
         where = Pattern(predicates)
     return GroupByAvgQuery(group_by=group_by, average=average, where=where,
                            table_name=match.group("table"))
@@ -112,6 +125,12 @@ def parse_query(sql: str) -> GroupByAvgQuery:
 
 def _parse_literal(text: str):
     text = text.strip()
+    # Unwrap (possibly nested) balanced parentheses: `(30)`, `(-5)`, `((3.5))`.
+    while len(text) >= 2 and text[0] == "(" and text[-1] == ")":
+        inner = text[1:-1].strip()
+        if not inner:
+            raise ValueError("empty parenthesized literal")
+        text = inner
     if (text.startswith("'") and text.endswith("'")) or \
             (text.startswith('"') and text.endswith('"')):
         return text[1:-1]

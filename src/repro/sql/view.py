@@ -71,8 +71,23 @@ class AggregateView:
         """Number of groups in the view (``m = |Q(D)|``)."""
         return len(self.groups)
 
+    @property
+    def index(self):
+        """The factorized :class:`~repro.dataframe.GroupByIndex` behind the view.
+
+        Exposed so downstream layers (e.g. the optimizer's group-weighted
+        coverage scoring) can reuse the dense group ids and sizes instead of
+        rebuilding them from the answer tuples.
+        """
+        return self._index
+
     def group_keys(self) -> list[tuple]:
         return [g.key for g in self.groups]
+
+    def group_weights(self) -> dict[tuple, float]:
+        """Per-group tuple counts (``{group key: size}``), from the index."""
+        return {key: float(size)
+                for key, size in zip(self._index.keys, self._index.sizes)}
 
     def group(self, key: tuple) -> GroupResult:
         return self.groups[self._group_index[key]]

@@ -64,6 +64,46 @@ class TestCommands:
         assert "No-DAG baseline" in out
         assert code in (0, 1)
 
+    def test_batch_command(self, tmp_path, capsys):
+        queries = tmp_path / "queries.sql"
+        queries.write_text(
+            "# repeated on purpose — served from the summary cache\n"
+            "SELECT G1, AVG(O) FROM t GROUP BY G1\n"
+            "SELECT G1, AVG(O) FROM t GROUP BY G1\n")
+        out = tmp_path / "summaries.json"
+        code = main(["batch", "--dataset", "synthetic", "--n", "300",
+                     "--k", "2", "--theta", "0.5",
+                     "--queries", str(queries), "--out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload) == 2
+        assert payload[0]["patterns"] == payload[1]["patterns"]
+
+    def test_batch_empty_queries_errors(self, tmp_path):
+        queries = tmp_path / "queries.sql"
+        queries.write_text("# only a comment\n")
+        assert main(["batch", "--dataset", "synthetic", "--n", "200",
+                     "--queries", str(queries)]) == 2
+
+    def test_serve_command_loop(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        requests = "\n".join([
+            "SELECT G1, AVG(O) FROM t GROUP BY G1",
+            json.dumps({"op": "stats", "id": 9}),
+            json.dumps({"op": "quit"}),
+        ]) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(requests))
+        code = main(["serve", "--dataset", "synthetic", "--n", "300",
+                     "--k", "2", "--theta", "0.5"])
+        out = capsys.readouterr().out
+        responses = [json.loads(line) for line in out.splitlines() if line.strip()]
+        assert code == 0
+        assert len(responses) == 3  # explain, stats, quit ack
+        assert all(r["ok"] for r in responses)
+        assert responses[1]["id"] == 9
+        assert responses[2]["quit"] is True
+
     def test_case_study_command(self, capsys):
         code = main(["case-study", "figure18_german", "--n", "800"])
         out = capsys.readouterr().out

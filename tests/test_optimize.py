@@ -144,3 +144,61 @@ class TestGreedy:
         selection = greedy_selection(problem)
         assert not selection.feasible
         assert selection.chosen == (0,)
+
+    def test_greedy_matches_set_based_reference(self):
+        """The vectorized scorer reproduces the historical set-diff loop."""
+        import itertools
+        import random
+
+        rng = random.Random(7)
+        groups = [f"g{i}" for i in range(9)]
+        for trial in range(20):
+            n = rng.randint(1, 7)
+            weights = [round(rng.uniform(0.0, 10.0), 3) for _ in range(n)]
+            coverage = [frozenset(rng.sample(groups, rng.randint(0, 6)))
+                        for _ in range(n)]
+            problem = CoverageILP(weights, coverage, groups,
+                                  k=rng.randint(1, 4), theta=0.5)
+            expected = _reference_greedy(problem)
+            assert greedy_selection(problem).chosen == expected, (trial, weights)
+
+    def test_greedy_group_weights_change_preference(self):
+        # Pattern 0 covers one huge group, pattern 1 covers two tiny ones.
+        problem_uniform = CoverageILP(
+            [1.0, 1.0], [frozenset(["big"]), frozenset(["t1", "t2"])],
+            ["big", "t1", "t2"], k=1, theta=0.0)
+        assert greedy_selection(problem_uniform).chosen == (1,)
+        problem_weighted = CoverageILP(
+            [1.0, 1.0], [frozenset(["big"]), frozenset(["t1", "t2"])],
+            ["big", "t1", "t2"], k=1, theta=0.0,
+            group_weights={"big": 1000.0, "t1": 1.0, "t2": 1.0})
+        assert greedy_selection(problem_weighted).chosen == (0,)
+
+    def test_coverage_matrix_and_weight_array(self):
+        problem = CoverageILP([1.0], [frozenset(["g2"])], ["g1", "g2"],
+                              k=1, theta=0.0, group_weights={"g2": 3.0})
+        matrix = problem.coverage_matrix()
+        assert matrix.tolist() == [[False, True]]
+        assert problem.group_weight_array().tolist() == [1.0, 3.0]
+
+
+def _reference_greedy(problem):
+    """The pre-vectorization greedy loop, kept verbatim as a test oracle."""
+    chosen, covered, taken = [], set(), set()
+    max_weight = max([abs(w) for w in problem.weights], default=1.0) or 1.0
+    m = max(problem.m, 1)
+    while len(chosen) < problem.k:
+        best_j, best_score = None, float("-inf")
+        for j in range(problem.n_patterns):
+            if j in chosen or problem.coverage[j] in taken:
+                continue
+            marginal = len(problem.coverage[j] - covered)
+            score = problem.weights[j] / max_weight + marginal / m
+            if score > best_score:
+                best_score, best_j = score, j
+        if best_j is None:
+            break
+        chosen.append(best_j)
+        covered |= problem.coverage[best_j]
+        taken.add(problem.coverage[best_j])
+    return tuple(sorted(chosen))

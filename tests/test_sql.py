@@ -3,7 +3,13 @@
 import pytest
 
 from repro.dataframe import Pattern
-from repro.sql import AggregateView, GroupByAvgQuery, parse_query
+from repro.sql import (
+    AggregateView,
+    GroupByAvgQuery,
+    normalize_query,
+    parse_query,
+    query_fingerprint,
+)
 
 
 class TestQueryConstruction:
@@ -71,6 +77,62 @@ class TestParser:
     def test_garbage_rejected(self):
         with pytest.raises(ValueError):
             parse_query("DELETE FROM t")
+
+    def test_duplicate_group_by_rejected(self):
+        with pytest.raises(ValueError, match="duplicate GROUP BY.*g"):
+            parse_query("SELECT g, AVG(y) FROM t GROUP BY g, g")
+
+    def test_negative_literal(self):
+        query = parse_query("SELECT g, AVG(y) FROM t WHERE delta > -5 GROUP BY g")
+        assert query.where.predicates[0].value == -5
+
+    def test_parenthesized_literals(self):
+        query = parse_query(
+            "SELECT g, AVG(y) FROM t WHERE a = (30) AND b <= ((-2.5)) GROUP BY g")
+        values = {p.attribute: p.value for p in query.where}
+        assert values["a"] == 30 and isinstance(values["a"], int)
+        assert values["b"] == -2.5
+
+    def test_bad_condition_reports_offending_text(self):
+        with pytest.raises(ValueError, match=r"age >>"):
+            parse_query("SELECT g, AVG(y) FROM t WHERE age >> 30 GROUP BY g")
+
+    def test_empty_parenthesized_literal_reports_condition(self):
+        with pytest.raises(ValueError, match=r"a = \(\)"):
+            parse_query("SELECT g, AVG(y) FROM t WHERE a = () GROUP BY g")
+
+
+class TestNormalization:
+    def test_group_by_order_canonicalised(self):
+        query = parse_query("SELECT b, a, AVG(y) FROM t GROUP BY b, a")
+        assert normalize_query(query).group_by == ("a", "b")
+
+    def test_idempotent_returns_same_object(self):
+        query = parse_query("SELECT a, b, AVG(y) FROM t GROUP BY a, b")
+        assert normalize_query(query) is query
+
+    def test_integral_float_literal_collapsed(self):
+        query = parse_query("SELECT g, AVG(y) FROM t WHERE age > 30.0 GROUP BY g")
+        normalized = normalize_query(query)
+        value = normalized.where.predicates[0].value
+        assert value == 30 and isinstance(value, int)
+
+    def test_fingerprint_equivalent_spellings_agree(self):
+        a = parse_query("SELECT b, a, AVG(y) FROM t WHERE age > 30.0 GROUP BY b, a")
+        b = parse_query("SELECT a, b, AVG(y) FROM s WHERE age > (30) GROUP BY a, b")
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_fingerprint_distinguishes_queries(self):
+        a = parse_query("SELECT g, AVG(y) FROM t GROUP BY g")
+        b = parse_query("SELECT g, AVG(z) FROM t GROUP BY g")
+        c = parse_query("SELECT g, AVG(y) FROM t WHERE y > 1 GROUP BY g")
+        assert len({query_fingerprint(a), query_fingerprint(b),
+                    query_fingerprint(c)}) == 3
+
+    def test_fingerprint_distinguishes_value_types(self):
+        a = parse_query("SELECT g, AVG(y) FROM t WHERE a = '30' GROUP BY g")
+        b = parse_query("SELECT g, AVG(y) FROM t WHERE a = 30 GROUP BY g")
+        assert query_fingerprint(a) != query_fingerprint(b)
 
 
 class TestAggregateView:

@@ -99,6 +99,49 @@ class TestRelationalOps:
         with pytest.raises(ValueError):
             simple_table.concat(other)
 
+    def test_concat_merges_vocabularies(self):
+        big = Table.from_columns({"c": ["a", "b", "c", "a", None]})
+        small = Table.from_columns({"c": ["b", "a"]})
+        merged = big.concat(small).column("c")
+        # Small side ⊆ big side: the big side's vocabulary and codes survive.
+        assert merged.vocab == big.column("c").vocab
+        assert np.array_equal(merged.codes[:5], big.column("c").codes)
+        assert list(merged.values) == ["a", "b", "c", "a", None, "b", "a"]
+
+    def test_concat_with_new_values_matches_fresh_factorization(self):
+        left = Table.from_columns({"c": ["m", "z", None, "m"]})
+        right = Table.from_columns({"c": ["a", "z", "q"]})
+        merged = left.concat(right).column("c")
+        fresh = Column("c", ["m", "z", None, "m", "a", "z", "q"])
+        assert merged.vocab == fresh.vocab
+        assert np.array_equal(merged.codes, fresh.codes)
+
+    def test_concat_mixed_kinds_falls_back_to_categorical(self):
+        numeric = Table.from_columns({"c": [1.0, 2.0]})
+        categorical = Table.from_columns({"c": ["x", "y"]})
+        merged = numeric.concat(categorical).column("c")
+        assert not merged.numeric
+        assert list(merged.values) == [1.0, 2.0, "x", "y"]
+
+    def test_concat_all_missing_side_adopts_other_kind(self):
+        numeric = Table.from_columns({"c": [1.0, 2.0]})
+        empty = Table.from_columns({"c": [None, None]})
+        as_suffix = numeric.concat(empty).column("c")
+        assert as_suffix.numeric
+        assert np.isnan(as_suffix.values[2]) and np.isnan(as_suffix.values[3])
+        as_prefix = empty.concat(numeric).column("c")
+        assert as_prefix.numeric and np.isnan(as_prefix.values[0])
+        categorical = Table.from_columns({"c": ["x", "y"]})
+        cat_merged = categorical.concat(empty).column("c")
+        assert not cat_merged.numeric
+        assert list(cat_merged.values) == ["x", "y", None, None]
+
+    def test_concat_numeric_preserves_nan(self):
+        a = Table.from_columns({"v": [1.0, float("nan")]})
+        b = Table.from_columns({"v": [3.0]})
+        values = a.concat(b).column("v").values
+        assert values[0] == 1.0 and np.isnan(values[1]) and values[2] == 3.0
+
     def test_equality(self, simple_table):
         assert simple_table == simple_table.take(range(simple_table.n_rows))
         assert simple_table != simple_table.take([0, 1, 2])
