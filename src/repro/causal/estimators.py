@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.causal.assumptions import check_positivity
 from repro.causal.effects import EffectEstimate
-from repro.causal.ols import ols_fit
+from repro.causal.ols import ReusableDesign, ols_fit
 from repro.dataframe import MaskCache, Pattern, Table, design_matrix
 from repro.graph import CausalDAG, backdoor_adjustment_set, parents_adjustment_set
 
@@ -291,7 +291,7 @@ class BoundSubpopulation:
         self.outcome_values = outcome_values
         self._identity = base is table  # binding covers the whole table unchanged
         self._domain_sizes: dict[str, int] = {}
-        self._design_cache: dict[tuple[str, ...], tuple[np.ndarray, list[str]]] = {}
+        self._design_cache: dict[tuple[str, ...], ReusableDesign] = {}
 
     @property
     def n_rows(self) -> int:
@@ -312,10 +312,18 @@ class BoundSubpopulation:
             self._domain_sizes[attribute] = size
         return size
 
-    def _confounders(self, attributes: tuple[str, ...]) -> tuple[np.ndarray, list[str]]:
+    def _design(self, attributes: tuple[str, ...]) -> ReusableDesign:
+        """The reusable design matrix for one adjustment-attribute tuple.
+
+        The confounder block is encoded once and the full buffer is
+        preallocated; per-treatment fits only rewrite the treatment column
+        (see :class:`~repro.causal.ols.ReusableDesign`), so no ``np.hstack``
+        runs per candidate.
+        """
         entry = self._design_cache.get(attributes)
         if entry is None:
-            entry = design_matrix(self.base, list(attributes))
+            confounders, names = design_matrix(self.base, list(attributes))
+            entry = ReusableDesign(confounders, names)
             self._design_cache[attributes] = entry
         return entry
 
@@ -338,14 +346,8 @@ class BoundSubpopulation:
                 adjustment_attrs.append(attr)
         adjustment_attrs = [a for a in adjustment_attrs if self._domain_size(a) > 1]
 
-        confounders, confounder_names = self._confounders(tuple(adjustment_attrs))
-        design = np.hstack([
-            np.ones((self.base.n_rows, 1)),
-            treated.astype(np.float64).reshape(-1, 1),
-            confounders,
-        ])
-        names = ["intercept", "__treatment__", *confounder_names]
-        result = ols_fit(design, self.outcome_values, names)
+        design = self._design(tuple(adjustment_attrs))
+        result = design.fit(treated, self.outcome_values)
         return EffectEstimate(
             value=result.coefficient("__treatment__"),
             std_error=result.std_error("__treatment__"),

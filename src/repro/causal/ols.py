@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,6 +30,42 @@ class OLSResult:
 
     def p_value(self, name: str) -> float:
         return float(self.p_values[self.feature_names.index(name)])
+
+
+class ReusableDesign:
+    """A preallocated ``[intercept | treatment | confounders]`` design matrix.
+
+    CATE estimation fits the same regression once per candidate treatment,
+    and only the treatment indicator (column 1) changes between fits.  This
+    class allocates the full design buffer a single time — ones in column 0,
+    the fixed confounder block in columns 2: — and each :meth:`fit` merely
+    overwrites the treatment column before calling :func:`ols_fit`, instead
+    of rebuilding the matrix with ``np.hstack`` per treatment.
+
+    The buffer contents fed to :func:`ols_fit` are element-for-element what
+    the ``hstack`` produced, so estimates are byte-identical to the old path.
+    Buffers are thread-local: concurrent treatment miners sharing one bound
+    sub-population each write into their own copy, so fits never race.
+    """
+
+    def __init__(self, confounders: np.ndarray, confounder_names: list[str]):
+        confounders = np.asarray(confounders, dtype=np.float64)
+        n = confounders.shape[0]
+        template = np.empty((n, confounders.shape[1] + 2), dtype=np.float64)
+        template[:, 0] = 1.0
+        template[:, 2:] = confounders
+        self._template = template
+        self.feature_names = ["intercept", "__treatment__", *confounder_names]
+        self._local = threading.local()
+
+    def fit(self, treated: np.ndarray, outcome: np.ndarray) -> OLSResult:
+        """Fit ``outcome ~ intercept + treated + confounders`` reusing the buffer."""
+        buffer = getattr(self._local, "buffer", None)
+        if buffer is None:
+            buffer = self._template.copy()
+            self._local.buffer = buffer
+        buffer[:, 1] = treated  # bool -> float64 cast is exact
+        return ols_fit(buffer, outcome, self.feature_names)
 
 
 def ols_fit(design: np.ndarray, outcome: np.ndarray,

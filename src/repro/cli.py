@@ -9,6 +9,11 @@ Usage examples::
     python -m repro case-study figure7_accidents --n 3000
     python -m repro serve --dataset stackoverflow --n 2000     # JSON-lines loop
     python -m repro batch --dataset adult --queries q.sql --out summaries.json
+    python -m repro store init ./causumx-store
+    python -m repro store import ./causumx-store --dataset stackoverflow \
+        --n 20000 --shard-rows 5000
+    python -m repro store ls ./causumx-store
+    python -m repro serve --store ./causumx-store              # warm restarts
 """
 
 from __future__ import annotations
@@ -29,9 +34,9 @@ from repro.sql import parse_query
 
 
 def _add_source_arguments(parser: argparse.ArgumentParser,
-                          query_help: str) -> None:
+                          query_help: str, required: bool = True) -> None:
     """The table/DAG/query source options shared by explain, serve, and batch."""
-    source = parser.add_mutually_exclusive_group(required=True)
+    source = parser.add_mutually_exclusive_group(required=required)
     source.add_argument("--dataset", choices=sorted(list_datasets()),
                         help="built-in dataset generator to use")
     source.add_argument("--csv", type=Path, help="CSV file containing the relation")
@@ -66,13 +71,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="serve explanations over a JSON-lines stdin/stdout loop")
     _add_source_arguments(serve, "default query (informational; requests carry "
-                                 "their own queries)")
+                                 "their own queries)", required=False)
+    serve.add_argument("--store", type=Path, default=None,
+                       help="serve every dataset of an on-disk store "
+                            "(memory-mapped tables, durable appends, warm "
+                            "restart from the persisted summary cache; "
+                            "state is snapshotted back on quit)")
+    serve.add_argument("--store-dataset", default=None,
+                       help="with --store: default dataset for requests that "
+                            "don't name one (default: the only/first dataset)")
     serve.add_argument("--n-jobs", type=int, default=1,
                        help="worker threads for treatment mining inside one query")
     serve.add_argument("--max-workers", type=int, default=4,
                        help="thread-pool width for batched requests")
     serve.add_argument("--summary-cache-size", type=int, default=256,
                        help="LRU capacity of the summary cache")
+    serve.add_argument("--memory-budget-mb", type=float, default=None,
+                       help="byte cap for cached summaries (shared LRU "
+                            "eviction across datasets)")
 
     batch = sub.add_parser(
         "batch", help="answer a file of queries and emit JSON summaries")
@@ -92,6 +108,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="case-study identifier (paper figure)")
     case.add_argument("--n", type=int, default=None, help="dataset size override")
     case.add_argument("--seed", type=int, default=0)
+
+    store = sub.add_parser(
+        "store", help="manage on-disk dataset stores (sharded columnar format)")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_init = store_sub.add_parser("init", help="create an empty store")
+    store_init.add_argument("root", type=Path, help="store directory")
+
+    store_import = store_sub.add_parser(
+        "import", help="import a dataset (generator or CSV) into a store")
+    store_import.add_argument("root", type=Path, help="store directory")
+    _add_source_arguments(store_import,
+                          "representative query (informational)")
+    store_import.add_argument("--name", default=None,
+                              help="dataset name inside the store "
+                                   "(default: source name)")
+    store_import.add_argument("--shard-rows", type=int, default=None,
+                              help="rows per shard (default: one shard; "
+                                   "smaller shards enable zone-map pruning)")
+
+    store_ls = store_sub.add_parser("ls", help="list a store's datasets")
+    store_ls.add_argument("root", type=Path, help="store directory")
     return parser
 
 
@@ -168,7 +206,8 @@ def _make_engine(args: argparse.Namespace):
     table, dag, _, grouping_attributes, treatment_attributes, config, name = source
     engine = ExplanationEngine(
         max_workers=args.max_workers,
-        summary_cache_size=getattr(args, "summary_cache_size", 256))
+        summary_cache_size=getattr(args, "summary_cache_size", 256),
+        memory_budget=_memory_budget(args))
     engine.register_dataset(name, table, dag=dag, config=config,
                             grouping_attributes=grouping_attributes,
                             treatment_attributes=treatment_attributes)
@@ -176,6 +215,16 @@ def _make_engine(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.store is not None:
+        if args.dataset or args.csv:
+            print("error: --store cannot be combined with --dataset/--csv",
+                  file=sys.stderr)
+            return 2
+        return _serve_store(args)
+    if not args.dataset and not args.csv:
+        print("error: one of --dataset, --csv, or --store is required",
+              file=sys.stderr)
+        return 2
     made = _make_engine(args)
     if made is None:
         return 2
@@ -183,6 +232,93 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"[serving dataset {name!r}; one JSON request per line, "
           '{"op": "quit"} to stop]', file=sys.stderr)
     serve_loop(engine, name, sys.stdin, sys.stdout)
+    return 0
+
+
+def _memory_budget(args: argparse.Namespace):
+    """A MemoryBudget from --memory-budget-mb, or None when unset."""
+    budget_mb = getattr(args, "memory_budget_mb", None)
+    if not budget_mb:
+        return None
+    from repro.service import MemoryBudget
+
+    return MemoryBudget(int(budget_mb * 2**20))
+
+
+def _serve_store(args: argparse.Namespace) -> int:
+    """Serve every dataset of an on-disk store, with warm-restart state."""
+    from repro.storage import DatasetStore, StorageError
+
+    try:
+        store = DatasetStore(args.store)
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    names = store.dataset_names()
+    if not names:
+        print(f"error: store {args.store} holds no datasets "
+              "(use `repro store import`)", file=sys.stderr)
+        return 2
+    default = args.store_dataset or names[0]
+    if default not in names:
+        print(f"error: no dataset {default!r} in store (have: {names})",
+              file=sys.stderr)
+        return 2
+    overrides = {"n_jobs": args.n_jobs} if args.n_jobs != 1 else None
+    engine = ExplanationEngine.from_store(
+        store, config_overrides=overrides, max_workers=args.max_workers,
+        summary_cache_size=args.summary_cache_size,
+        memory_budget=_memory_budget(args))
+    restored = engine.stats().get("restored_summaries", 0)
+    print(f"[serving store {str(args.store)!r}: datasets {names}, default "
+          f"{default!r}, {restored} summaries restored; one JSON request per "
+          'line, {"op": "quit"} to stop]', file=sys.stderr)
+    serve_loop(engine, default, sys.stdin, sys.stdout)
+    snapshot = engine.snapshot()
+    print(f"[snapshot: {snapshot['summaries']} summaries persisted]",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.storage import DatasetStore, StorageError
+
+    if args.store_command == "init":
+        DatasetStore.init(args.root)
+        print(f"initialized store at {args.root}")
+        return 0
+    if args.store_command == "ls":
+        try:
+            store = DatasetStore(args.root)
+        except StorageError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        registry = store.registry()
+        for name in store.dataset_names():
+            stats = store.dataset(name).stats()
+            registered = "registered" if name in registry else "data only"
+            print(f"{name}  rows={stats['rows']}  shards={stats['shards']}  "
+                  f"version={stats['version']}  bytes={stats['bytes']}  "
+                  f"[{registered}]")
+        return 0
+    # import
+    source = _load_source(args, require_query=False, machine_output=True)
+    if source is None:
+        return 2
+    table, dag, _, grouping_attributes, treatment_attributes, config, name = source
+    name = args.name or name
+    try:
+        store = DatasetStore.init(args.root)
+        store.import_table(name, table, shard_rows=args.shard_rows)
+        store.register_entry(name, dag=dag, config=config,
+                             grouping_attributes=grouping_attributes,
+                             treatment_attributes=treatment_attributes)
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = store.dataset(name).stats()
+    print(f"imported {name!r}: rows={stats['rows']} shards={stats['shards']} "
+          f"bytes={stats['bytes']} -> {args.root}")
     return 0
 
 
@@ -227,6 +363,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "store":
+        return _cmd_store(args)
     return _cmd_case_study(args)
 
 

@@ -13,7 +13,7 @@ enumeration) operates on the codes.  Slicing preserves encodings, so
 sub-populations inherit their parent's codes for free.
 """
 
-from repro.dataframe.column import Column, MISSING_CODE
+from repro.dataframe.column import Column, LazyColumn, MISSING_CODE
 from repro.dataframe.predicates import Op, Pattern, Predicate
 from repro.dataframe.groupby import GroupByIndex
 from repro.dataframe.maskcache import CacheStats, MaskCache
@@ -31,6 +31,7 @@ __all__ = [
     "CacheStats",
     "Column",
     "GroupByIndex",
+    "LazyColumn",
     "MISSING_CODE",
     "MaskCache",
     "Op",

@@ -23,6 +23,7 @@ slices.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -296,6 +297,66 @@ class Column:
                       numeric=False)
 
 
+class LazyColumn(Column):
+    """A column whose physical storage is materialized on first access.
+
+    Built by the storage layer for disk-backed tables: the column knows its
+    name, kind, length, and (for categoricals) vocabulary up front, but the
+    ``float64`` data / ``int32`` code array is produced by ``loader()`` only
+    when something actually touches the rows — typically a lazy concatenation
+    of memory-mapped shard arrays.  ``len()`` and all metadata accessors work
+    without triggering the load; every row-reading code path (``values``,
+    ``codes``, ``take``, predicate kernels, …) transparently materializes via
+    the ``_data`` / ``_codes`` property overrides.
+
+    The loaded array is cached, and the loader reference is dropped so shard
+    handles can be garbage-collected once the column is materialized.
+    """
+
+    def __init__(self, name: str, numeric: bool, length: int, loader,
+                 vocab: Sequence = ()):
+        # Deliberately does NOT call Column.__init__: storage is lazy.
+        self.name = name
+        self.numeric = bool(numeric)
+        self._length = int(length)
+        self._loader = loader
+        self._arr: np.ndarray | None = None
+        self._load_lock = threading.Lock()
+        self._values = None
+        self._vocab = tuple(vocab)
+        self._vocab_index = None
+
+    def _load(self) -> np.ndarray:
+        # Serving engines touch shared columns from a thread pool; the lock
+        # makes the load once-only (and keeps the loader-dropping safe).
+        with self._load_lock:
+            if self._arr is None:
+                arr = self._loader()
+                if len(arr) != self._length:
+                    raise ValueError(
+                        f"lazy column {self.name!r} loaded {len(arr)} rows, "
+                        f"expected {self._length}")
+                self._arr = arr
+                self._loader = None
+            return self._arr
+
+    @property
+    def _data(self):
+        return self._load() if self.numeric else None
+
+    @property
+    def _codes(self):
+        return None if self.numeric else self._load()
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the storage has been loaded yet (no load is triggered)."""
+        return self._arr is not None
+
+    def __len__(self) -> int:
+        return self._length
+
+
 def _is_missing(value) -> bool:
     if value is None:
         return True
@@ -310,12 +371,41 @@ def _to_float(value) -> float:
     return float(value)
 
 
+def sorted_code_remap(values: Sequence) -> tuple[tuple, np.ndarray | None]:
+    """The deterministic sorted-vocabulary contract, single-sourced.
+
+    Given distinct ``values`` in *code order* (value ``i`` encoded as code
+    ``i``), return ``(sorted vocab, remap)`` where the vocabulary is sorted
+    ascending with a ``repr``-order fallback for mixed un-orderable types,
+    and ``remap`` is an ``int32`` old-code → sorted-code lookup whose
+    trailing slot maps the ``-1`` sentinel to itself.  ``remap`` is ``None``
+    when ``values`` is already in sorted order (codes pass through).
+
+    Every producer of dictionary codes — :func:`_factorize`, the streaming
+    CSV encoder, and the storage layer's store-vocabulary loads — goes
+    through this function, so their encodings agree byte for byte.
+    """
+    values = list(values)
+    try:
+        ordered = sorted(values)
+    except TypeError:  # mixed un-orderable types
+        ordered = sorted(values, key=repr)
+    if ordered == values:
+        return tuple(ordered), None
+    position = {value: i for i, value in enumerate(ordered)}
+    remap = np.empty(len(values) + 1, dtype=np.int32)
+    for old_code, value in enumerate(values):
+        remap[old_code] = position[value]
+    remap[len(values)] = MISSING_CODE  # sentinel -1 wraps to the last slot
+    return tuple(ordered), remap
+
+
 def _factorize(values) -> tuple[np.ndarray, tuple]:
     """Dictionary-encode raw values into ``(int32 codes, sorted vocab)``.
 
     Values are normalised first (numpy scalars unwrapped, ``None``/``NaN`` to
-    the sentinel); the vocabulary is sorted ascending with a ``repr``-order
-    fallback for mixed un-orderable types, matching :meth:`Column.unique`.
+    the sentinel); the vocabulary order comes from :func:`sorted_code_remap`,
+    matching :meth:`Column.unique`.
     """
     n = len(values)
     first_seen: dict = {}
@@ -331,16 +421,8 @@ def _factorize(values) -> tuple[np.ndarray, tuple]:
             code = len(first_seen)
             first_seen[v] = code
         tmp[i] = code
-    distinct = list(first_seen)
-    try:
-        vocab = sorted(distinct)
-    except TypeError:  # mixed un-orderable types
-        vocab = sorted(distinct, key=repr)
-    remap = np.empty(len(distinct) + 1, dtype=np.int32)
-    for sorted_code, value in enumerate(vocab):
-        remap[first_seen[value]] = sorted_code
-    remap[len(distinct)] = MISSING_CODE  # sentinel -1 wraps to the last slot
-    return remap[tmp], tuple(vocab)
+    vocab, remap = sorted_code_remap(first_seen)
+    return tmp if remap is None else remap[tmp], vocab
 
 
 def _all_missing_as(column: "Column", like: "Column") -> "Column":

@@ -1,44 +1,121 @@
-"""CSV import/export for tables."""
+"""CSV import/export for tables.
+
+``read_csv`` streams the file once and dictionary-encodes every column as it
+goes: each cell is parsed, looked up in a per-column first-seen dictionary and
+appended to an ``int32`` code buffer — the raw per-column Python lists the old
+implementation accumulated (one str per cell, then one parsed value per cell)
+never exist.  At the end a numeric column rebuilds its ``float64`` storage by
+fancy-indexing a tiny per-distinct-value lookup through the codes, and a
+categorical column remaps its first-seen codes to the sorted vocabulary —
+exactly the encoding :func:`~repro.dataframe.column._factorize` produces.
+
+``write_csv`` emits missing *numeric* cells as ``nan`` (and missing
+categorical cells as the empty string), so a ``write_csv`` → ``read_csv``
+round trip preserves the numeric-vs-categorical kind of every column — in
+particular all-missing columns, which carry no other type evidence.
+"""
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
 
-from repro.dataframe.column import Column
+import numpy as np
+
+from repro.dataframe.column import MISSING_CODE, Column, sorted_code_remap
 from repro.dataframe.table import Table
+
+#: Number of code slots grown at a time while streaming rows.
+_CHUNK = 4096
+
+
+class _ColumnBuilder:
+    """Streaming dictionary encoder for one CSV column."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.first_seen: dict = {}   # parsed value -> first-seen code
+        self.codes = np.empty(_CHUNK, dtype=np.int32)
+        self.n = 0
+        self.numeric = True          # falsified by the first non-float cell
+        self.saw_value = False
+        self.saw_nan = False         # a literal "nan" cell: missing, but numeric
+
+    def add(self, cell: str) -> None:
+        value = _parse_cell(cell)
+        if value is None or (isinstance(value, float) and np.isnan(value)):
+            self.saw_nan = self.saw_nan or value is not None
+            code = MISSING_CODE
+        else:
+            self.saw_value = True
+            if self.numeric and not isinstance(value, (int, float)):
+                self.numeric = False
+            code = self.first_seen.get(value)
+            if code is None:
+                code = len(self.first_seen)
+                self.first_seen[value] = code
+        if self.n == len(self.codes):
+            self.codes = np.resize(self.codes, 2 * self.n)  # geometric growth
+        self.codes[self.n] = code
+        self.n += 1
+
+    def build(self) -> Column:
+        codes = self.codes[:self.n]
+        if self.numeric and (self.saw_value or self.saw_nan):
+            # Rebuild the float storage through a per-distinct-value lookup;
+            # the sentinel -1 wraps to the trailing NaN slot.
+            lookup = np.empty(len(self.first_seen) + 1, dtype=np.float64)
+            for value, code in self.first_seen.items():
+                lookup[code] = float(value)
+            lookup[len(self.first_seen)] = np.nan
+            return Column._from_numeric_data(self.name, lookup[codes])
+        # Remap first-seen codes to the deterministic sorted vocabulary —
+        # same contract as a fresh factorization (sorted_code_remap is the
+        # single source of that ordering).
+        vocab, remap = sorted_code_remap(self.first_seen)
+        return Column.from_codes(self.name,
+                                 codes if remap is None else remap[codes],
+                                 vocab)
 
 
 def read_csv(path: str | Path, name: str | None = None) -> Table:
     """Load a table from a CSV file, inferring numeric vs categorical columns.
 
-    Empty cells become missing values.  A column is numeric if every non-empty
-    cell parses as a float.
+    The file is streamed row by row and dictionary-encoded on the fly (no
+    whole-file materialization).  Empty cells (and cells parsing to NaN)
+    become missing values.  A column is numeric if every non-empty cell
+    parses as a float.  Short rows are padded with missing values; cells
+    beyond the header are ignored.
     """
     path = Path(path)
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader)
-        raw_columns: list[list[str]] = [[] for _ in header]
+        builders = [_ColumnBuilder(attr) for attr in header]
         for row in reader:
-            for i, cell in enumerate(row):
-                raw_columns[i].append(cell)
-    columns = []
-    for attr, cells in zip(header, raw_columns):
-        columns.append(Column(attr, [_parse_cell(c) for c in cells],
-                              numeric=_all_numeric(cells)))
-    return Table(columns, name=name or path.stem)
+            for i, builder in enumerate(builders):
+                builder.add(row[i] if i < len(row) else "")
+    return Table([b.build() for b in builders], name=name or path.stem)
 
 
 def write_csv(table: Table, path: str | Path) -> None:
-    """Write a table to CSV (missing values become empty cells)."""
+    """Write a table to CSV.
+
+    Missing values are written as ``nan`` in numeric columns and as empty
+    cells in categorical columns, so :func:`read_csv` reconstructs every
+    column with its original kind — including all-missing columns.
+    """
     path = Path(path)
+    numeric = [table.is_numeric(a) for a in table.attributes]
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(table.attributes)
         for row in table.iter_rows():
-            writer.writerow(["" if _is_missing(v) else v for v in
-                             (row[a] for a in table.attributes)])
+            writer.writerow([
+                ("nan" if is_numeric else "") if _is_missing(v) else v
+                for is_numeric, v in
+                ((n, row[a]) for n, a in zip(numeric, table.attributes))
+            ])
 
 
 def _parse_cell(cell: str):
@@ -52,20 +129,6 @@ def _parse_cell(cell: str):
     if value.is_integer() and "." not in cell and "e" not in cell.lower():
         return int(value)
     return value
-
-
-def _all_numeric(cells) -> bool:
-    saw = False
-    for cell in cells:
-        cell = cell.strip()
-        if cell == "":
-            continue
-        saw = True
-        try:
-            float(cell)
-        except ValueError:
-            return False
-    return saw
 
 
 def _is_missing(value) -> bool:

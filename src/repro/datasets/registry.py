@@ -57,6 +57,18 @@ class DatasetBundle:
         }
         return stats
 
+    def to_store(self, store, config=None, name: str | None = None,
+                 shard_rows: int | None = None):
+        """Export the bundle into a :class:`~repro.storage.DatasetStore`.
+
+        Writes the table as sharded columnar files *and* records the
+        registration (DAG, config, grouping/treatment attributes) in the
+        store's registry, so ``repro serve --store`` can serve the dataset
+        directly.  Returns the :class:`~repro.storage.StoredDataset` handle.
+        """
+        return store.import_bundle(self, config=config, name=name,
+                                   shard_rows=shard_rows)
+
 
 _REGISTRY: dict[str, Callable[..., DatasetBundle]] = {}
 

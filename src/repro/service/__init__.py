@@ -10,6 +10,7 @@ parallelise, and new data arrives incrementally via versioned appends.  See
 
 from repro.service.engine import DatasetState, ExplanationEngine
 from repro.service.lru import LRUCache, LRUStats
+from repro.service.membudget import MemoryBudget
 from repro.service.server import handle_request, read_queries, run_batch, serve_loop
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "ExplanationEngine",
     "LRUCache",
     "LRUStats",
+    "MemoryBudget",
     "handle_request",
     "read_queries",
     "run_batch",

@@ -34,15 +34,27 @@ forward cheaply by evaluating only the appended rows
 Results are *byte-identical* to fresh one-shot runs on the same canonical
 query: every cache level only removes recomputation, never changes inputs
 (``benchmarks/bench_engine_cache.py`` gates this).
+
+Engines can be **store-backed** (:mod:`repro.storage`): datasets registered
+with a :class:`~repro.storage.StoredDataset` handle write every
+:meth:`append_rows` batch through to disk as a committed shard before the
+in-memory swap, :meth:`ExplanationEngine.from_store` rebuilds a fully
+registered engine (tables memory-mapped, summary cache restored) from a
+store directory, and :meth:`snapshot` persists the warm state back — a
+restarted ``repro serve --store`` process answers its first repeated query
+from the cache, byte-identical to the summary it served before the restart.
 """
 
 from __future__ import annotations
 
+import pickle
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.causal import CATEEstimator
 from repro.core import CauSumX, CauSumXConfig, ExplanationSummary
@@ -70,6 +82,9 @@ class DatasetState:
     grouping_attributes: tuple[str, ...] | None
     treatment_attributes: tuple[str, ...] | None
     version: int = 0
+    #: Optional :class:`~repro.storage.StoredDataset` backing this dataset:
+    #: appends are written through to disk before the in-memory swap.
+    store: object | None = None
 
 
 @dataclass
@@ -99,14 +114,20 @@ class ExplanationEngine:
     summary_cache_size / view_cache_size / population_cache_size /
     plan_cache_size:
         Capacities of the four cache levels.
+    memory_budget:
+        Optional shared :class:`~repro.service.MemoryBudget`: the summary
+        cache weighs its entries (pickled bytes) against the budget's global
+        cap, and the budget may evict the globally least-recently-used
+        summaries across *every* engine attached to it.
     """
 
     def __init__(self, max_workers: int = 4, summary_cache_size: int = 256,
                  view_cache_size: int = 64, population_cache_size: int = 32,
-                 plan_cache_size: int = 512):
+                 plan_cache_size: int = 512, memory_budget=None):
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = max_workers
+        self.memory_budget = memory_budget
         self._datasets: dict[str, DatasetState] = {}
         self._datasets_lock = threading.Lock()
         # Serialises mutations (append_rows) without blocking readers: the
@@ -116,12 +137,16 @@ class ExplanationEngine:
         self._plan_cache = LRUCache(plan_cache_size)
         self._view_cache = LRUCache(view_cache_size)
         self._population_cache = LRUCache(population_cache_size)
-        self._summary_cache = LRUCache(summary_cache_size)
+        self._summary_cache = LRUCache(
+            summary_cache_size, budget=memory_budget,
+            weigher=_summary_nbytes if memory_budget is not None else None)
         self._flights: dict[tuple, _Flight] = {}
         self._flights_lock = threading.Lock()
         self._computations = 0
         self._coalesced = 0
         self._batch_deduped = 0
+        self._store = None  # DatasetStore when built via from_store
+        self._restored_summaries = 0
 
     # ------------------------------------------------------------------ registration
 
@@ -130,16 +155,21 @@ class ExplanationEngine:
                          config: CauSumXConfig | None = None,
                          grouping_attributes: Sequence[str] | None = None,
                          treatment_attributes: Sequence[str] | None = None,
-                         ) -> DatasetState:
+                         version: int | None = None,
+                         store=None) -> DatasetState:
         """Register (or replace) a dataset under ``name``.
 
         Re-registering an existing name installs the new table/DAG/config and
         bumps the data version, invalidating every cache entry of the old
-        registration.
+        registration.  ``version`` pins the data version explicitly (used
+        when restoring from a store, where the committed manifest version
+        must line up with restored cache keys); ``store`` attaches a
+        :class:`~repro.storage.StoredDataset` for durable appends.
         """
         with self._mutation_lock, self._datasets_lock:
             previous = self._datasets.get(name)
-            version = previous.version + 1 if previous is not None else 0
+            if version is None:
+                version = previous.version + 1 if previous is not None else 0
             state = DatasetState(
                 name=name, table=table, dag=dag,
                 config=config or CauSumXConfig(),
@@ -148,6 +178,7 @@ class ExplanationEngine:
                 treatment_attributes=tuple(treatment_attributes)
                 if treatment_attributes is not None else None,
                 version=version,
+                store=store,
             )
             self._datasets[name] = state
             if previous is not None:
@@ -162,6 +193,78 @@ class ExplanationEngine:
             grouping_attributes=bundle.grouping_attributes,
             treatment_attributes=bundle.treatment_attributes,
         )
+
+    @classmethod
+    def from_store(cls, store, prune: bool = True,
+                   config_overrides: Mapping | None = None, **engine_kwargs
+                   ) -> "ExplanationEngine":
+        """Rebuild a fully registered engine from a store directory.
+
+        Every stored dataset is loaded as a memory-mapped
+        :class:`~repro.storage.ShardedTable` (no rows are read until
+        queries touch them) and registered with the DAG / config / attribute
+        partition recorded in the store's registry at the dataset's committed
+        manifest version.  Persisted summary-cache entries whose
+        ``(dataset, version)`` still matches are restored, so repeated
+        queries after a restart are served from cache, byte-identical to the
+        summaries computed before the restart.
+
+        ``config_overrides`` replaces individual fields of every restored
+        config (e.g. ``{"n_jobs": 8}`` from the CLI).  Only use overrides
+        that cannot change results — restored cache entries stay valid.
+        """
+        from repro.graph import CausalDAG as _DAG  # local alias; already imported
+        from repro.storage import DatasetStore, config_from_dict
+
+        if not isinstance(store, DatasetStore):
+            store = DatasetStore(store)
+        engine = cls(**engine_kwargs)
+        engine._store = store
+        registry = store.registry()
+        for name in store.dataset_names():
+            stored = store.dataset(name)
+            entry = registry.get(name) or {}
+            dag = _DAG.from_dict(entry["dag"]) if entry.get("dag") else None
+            config = config_from_dict(entry["config"]) \
+                if entry.get("config") else None
+            if config_overrides:
+                config = (config or CauSumXConfig()).with_overrides(
+                    **config_overrides)
+            engine.register_dataset(
+                name, stored.load_table(prune=prune), dag=dag, config=config,
+                grouping_attributes=entry.get("grouping_attributes"),
+                treatment_attributes=entry.get("treatment_attributes"),
+                version=stored.manifest.version, store=stored)
+        restored = 0
+        for key, summary in store.load_summaries():
+            name, version = key[0], key[1]
+            with engine._datasets_lock:
+                state = engine._datasets.get(name)
+            if state is not None and state.version == version:
+                engine._summary_cache.put(key, summary)
+                restored += 1
+        engine._restored_summaries = restored
+        return engine
+
+    def snapshot(self) -> dict:
+        """Persist registrations + summary cache to the backing store.
+
+        Only available on engines built via :meth:`from_store` (or with a
+        store attached through :attr:`attach_store`).  Returns the persisted
+        entry counts.
+        """
+        if self._store is None:
+            raise ValueError("engine has no backing store; build it with "
+                             "ExplanationEngine.from_store or attach_store()")
+        return self._store.snapshot(self)
+
+    def attach_store(self, store) -> None:
+        """Attach a :class:`~repro.storage.DatasetStore` for :meth:`snapshot`."""
+        self._store = store
+
+    def summary_cache_items(self) -> list[tuple]:
+        """Snapshot of ``(key, summary)`` entries (for store snapshots)."""
+        return list(self._summary_cache.items())
 
     def datasets(self) -> list[str]:
         with self._datasets_lock:
@@ -318,6 +421,16 @@ class ExplanationEngine:
             new_table = state.table.concat(appended)
             new_state = replace(state, table=new_table, version=state.version + 1)
 
+            # Durability first: a store-backed dataset commits the batch as a
+            # new shard (atomic manifest replace) *before* the in-memory swap,
+            # so a crash after this point replays cleanly from disk and a
+            # crash before it changes nothing.  The batch is sliced from the
+            # concatenated table so its columns carry the merged vocabularies.
+            if state.store is not None:
+                batch = new_table.take(
+                    np.arange(state.table.n_rows, new_table.n_rows))
+                state.store.append(batch, expected_version=state.version)
+
             # Carry cached populations to the new version with extended masks.
             # Populations cached after this snapshot simply are not carried —
             # they get invalidated with the rest and rebuilt cold on demand.
@@ -379,13 +492,26 @@ class ExplanationEngine:
                     "evictions": snapshot.evictions,
                     "invalidations": snapshot.invalidations,
                     "entries": snapshot.entries, "capacity": snapshot.capacity,
+                    "bytes": snapshot.bytes,
                     "hit_rate": round(snapshot.hit_rate, 4)}
 
         with self._flights_lock:
             computations = self._computations
             coalesced = self._coalesced
             batch_deduped = self._batch_deduped
-        return {
+        storage: dict = {}
+        with self._datasets_lock:
+            states = list(self._datasets.values())
+        for state in states:
+            entry: dict = {}
+            if state.store is not None:
+                entry.update(state.store.stats())
+            scan_stats = getattr(state.table, "scan_stats", None)
+            if callable(scan_stats):
+                entry["scan"] = scan_stats()
+            if entry:
+                storage[state.name] = entry
+        result = {
             "datasets": datasets,
             "plan_cache": level(self._plan_cache),
             "view_cache": level(self._view_cache),
@@ -396,6 +522,12 @@ class ExplanationEngine:
             "coalesced": coalesced,
             "batch_deduped": batch_deduped,
         }
+        if storage:
+            result["storage"] = storage
+            result["restored_summaries"] = self._restored_summaries
+        if self.memory_budget is not None:
+            result["memory_budget"] = self.memory_budget.stats()
+        return result
 
     @property
     def computations(self) -> int:
@@ -464,3 +596,12 @@ class ExplanationEngine:
                       self._population_cache):
             invalidated += cache.purge(lambda key: key[0] == name)
         return invalidated
+
+
+def _summary_nbytes(summary) -> int:
+    """Approximate retained bytes of a summary: its pickled size.
+
+    Deterministic, cheap relative to computing a summary, and proportional
+    to what the cache actually keeps alive (patterns, estimates, metadata).
+    """
+    return len(pickle.dumps(summary, protocol=pickle.HIGHEST_PROTOCOL))

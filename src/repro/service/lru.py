@@ -5,6 +5,13 @@ views, bound populations, finished summaries).  Deliberately minimal: plain
 ``OrderedDict`` + lock, no TTLs — entries are invalidated explicitly when a
 dataset's data version moves (:meth:`purge`), and capacity evictions drop the
 least recently *used* entry.
+
+A cache may additionally participate in a shared
+:class:`~repro.service.membudget.MemoryBudget`: constructed with ``budget=``
+and ``weigher=`` it weighs every inserted value (bytes), stamps each
+hit/insert with the budget's global recency clock, and lets the budget evict
+globally-least-recent entries across *all* attached caches when the summed
+bytes exceed the cap (the cross-engine memory budget of ROADMAP item (e)).
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ class LRUStats:
     invalidations: int
     entries: int
     capacity: int
+    bytes: int = 0
 
     @property
     def requests(self) -> int:
@@ -37,37 +45,71 @@ class LRUStats:
 
 
 class LRUCache:
-    """Least-recently-used mapping with bounded capacity and usage accounting."""
+    """Least-recently-used mapping with bounded capacity and usage accounting.
 
-    def __init__(self, capacity: int = 128):
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries (count-based, always enforced).
+    budget / weigher:
+        Optional shared :class:`~repro.service.membudget.MemoryBudget` and a
+        ``value -> bytes`` weigher.  With both set, inserts are weighed and
+        the budget may evict this cache's least-recent entries to keep the
+        global byte total under its cap.
+    """
+
+    def __init__(self, capacity: int = 128, budget=None,
+                 weigher: Callable | None = None):
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self.capacity = capacity
+        self.budget = budget
+        self.weigher = weigher
         self._entries: OrderedDict = OrderedDict()
+        self._weights: dict = {}
+        self._stamps: dict = {}
+        self._total_bytes = 0
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        if budget is not None:
+            budget.attach(self)
+
+    # ------------------------------------------------------------------ core ops
 
     def get(self, key: Hashable, default=None):
         """Look up ``key``, marking it most recently used.  Counts a hit/miss."""
+        stamp = self.budget.tick() if self.budget is not None else None
         with self._lock:
             if key in self._entries:
                 self._hits += 1
                 self._entries.move_to_end(key)
+                if stamp is not None:
+                    self._stamps[key] = stamp
                 return self._entries[key]
             self._misses += 1
             return default
 
     def put(self, key: Hashable, value) -> None:
         """Insert/overwrite ``key``, evicting the LRU entry when over capacity."""
+        weight = self.weigher(value) if self.weigher is not None else 0
+        stamp = self.budget.tick() if self.budget is not None else None
         with self._lock:
+            if key in self._entries:
+                self._total_bytes -= self._weights.get(key, 0)
             self._entries[key] = value
             self._entries.move_to_end(key)
+            self._weights[key] = weight
+            self._total_bytes += weight
+            if stamp is not None:
+                self._stamps[key] = stamp
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                self._drop_oldest_locked()
                 self._evictions += 1
+        if self.budget is not None:
+            self.budget.rebalance()
 
     def peek(self, key: Hashable, default=None):
         """Look up ``key`` without touching recency or hit/miss accounting."""
@@ -83,6 +125,8 @@ class LRUCache:
             doomed = [k for k in self._entries if predicate(k)]
             for k in doomed:
                 del self._entries[k]
+                self._total_bytes -= self._weights.pop(k, 0)
+                self._stamps.pop(k, None)
             self._invalidations += len(doomed)
             return len(doomed)
 
@@ -95,6 +139,40 @@ class LRUCache:
         with self._lock:
             self._invalidations += len(self._entries)
             self._entries.clear()
+            self._weights.clear()
+            self._stamps.clear()
+            self._total_bytes = 0
+
+    # ------------------------------------------------------------------ budget hooks
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    def oldest_stamp(self):
+        """Recency stamp of the LRU entry, or ``None`` when empty/unstamped."""
+        with self._lock:
+            for key in self._entries:  # first key = least recently used
+                return self._stamps.get(key, 0)
+            return None
+
+    def evict_oldest(self):
+        """Evict the LRU entry for the budget; returns its weight (or None)."""
+        with self._lock:
+            if not self._entries:
+                return None
+            weight = self._drop_oldest_locked()
+            self._evictions += 1
+            return weight
+
+    def _drop_oldest_locked(self) -> int:
+        key, _ = self._entries.popitem(last=False)
+        weight = self._weights.pop(key, 0)
+        self._stamps.pop(key, None)
+        self._total_bytes -= weight
+        return weight
+
+    # ------------------------------------------------------------------ dunder / stats
 
     def __len__(self) -> int:
         with self._lock:
@@ -109,4 +187,5 @@ class LRUCache:
             return LRUStats(hits=self._hits, misses=self._misses,
                             evictions=self._evictions,
                             invalidations=self._invalidations,
-                            entries=len(self._entries), capacity=self.capacity)
+                            entries=len(self._entries), capacity=self.capacity,
+                            bytes=self._total_bytes)

@@ -10,6 +10,7 @@ Two entry points, both wired into the CLI:
       {"op": "batch", "queries": ["SELECT ...", ...]}
       {"op": "append_rows", "rows": [{"A": 1, ...}, ...]}
       {"op": "stats"}
+      {"op": "snapshot"}        # persist warm state to the backing store
       {"op": "quit"}
 
   Every request yields exactly one JSON response line with ``"ok"`` set, the
@@ -72,6 +73,8 @@ def handle_request(engine: ExplanationEngine, dataset: str, line: str) -> dict:
                         "result": engine.append_rows(target, request["rows"])}
         elif op == "stats":
             response = {"ok": True, "result": engine.stats()}
+        elif op == "snapshot":
+            response = {"ok": True, "result": engine.snapshot()}
         else:
             raise ValueError(f"unknown op {op!r}")
     except Exception as exc:  # noqa: BLE001 — protocol boundary, report and carry on

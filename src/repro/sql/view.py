@@ -42,6 +42,10 @@ class AggregateView:
         query.validate(table)
         self.query = query
         self.base_table = table
+        # Shard-pruned scan: a storage-backed ShardedTable consults its
+        # per-shard zone maps inside select(), so a selective WHERE clause
+        # decodes only the shards that can contain matching rows (the serving
+        # layer surfaces the cumulative pruning counters in stats()).
         self.table = table if query.where.is_empty() else table.select(query.where)
         # One factorized group index backs membership lists, the averages, and
         # the covered-groups test — the rows are never rescanned per group.

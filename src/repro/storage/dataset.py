@@ -1,0 +1,427 @@
+"""One stored dataset: sharded columnar data + manifest + zone-map scans.
+
+:class:`StoredDataset` owns a dataset directory (see
+:mod:`repro.storage.format` for the layout) and provides the write path
+(:meth:`create` / :meth:`append`) and the read path (:meth:`load_table`).
+
+The read path returns a :class:`ShardedTable` — a drop-in
+:class:`~repro.dataframe.Table` whose columns are
+:class:`~repro.dataframe.LazyColumn` views over memory-mapped shard arrays:
+nothing is decoded until a column's rows are actually touched, and
+``select`` with a pattern condition consults the per-shard zone maps first,
+decoding only the shards that could contain matching rows.
+
+Vocabularies are *interned per dataset*: every shard's categorical codes
+point into one shared append-only store vocabulary, so shards written years
+apart agree on their encoding and appends never rewrite committed shards.
+Loaded columns re-expose the deterministic sorted vocabulary the in-memory
+:class:`~repro.dataframe.Column` uses, via a per-column O(vocab) code remap
+applied lazily per shard — when the store vocabulary happens to be sorted
+already (the common import case), codes pass through as the raw memory map.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from repro.dataframe import MISSING_CODE, Column, LazyColumn, Pattern, Predicate, Table
+from repro.dataframe.column import sorted_code_remap
+from repro.storage.format import (
+    CATEGORICAL,
+    NUMERIC,
+    SHARD_DIR,
+    TMP_MARKER,
+    Manifest,
+    ShardInfo,
+    StorageError,
+    commit_manifest,
+    fingerprint_file,
+    is_temp_file,
+    load_manifest,
+    sweep_temp_files,
+)
+from repro.storage.shard import open_shard, write_shard
+from repro.storage.zonemap import (
+    categorical_zone_map,
+    numeric_zone_map,
+    pattern_may_match,
+)
+
+_JSON_SAFE = (str, int, float, bool)
+
+
+@contextmanager
+def _append_lock(directory: Path):
+    """Advisory cross-process exclusive lock on a dataset directory.
+
+    Uses ``flock`` on a dedicated ``.lock`` file so two writers (separate
+    handles or separate ``repro serve --store`` processes) cannot interleave
+    shard writes and manifest commits.  On platforms without ``fcntl`` the
+    lock degrades to the caller's in-process lock.
+    """
+    handle = (directory / ".lock").open("a+b")
+    try:
+        if fcntl is not None:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        yield
+    finally:
+        if fcntl is not None:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+        handle.close()
+
+
+class StoredDataset:
+    """Handle on one dataset directory (manifest + shards)."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self._lock = threading.Lock()
+        self.manifest = load_manifest(self.directory)
+
+    # ------------------------------------------------------------------ write path
+
+    @classmethod
+    def create(cls, directory: str | Path, name: str, table: Table,
+               shard_rows: int | None = None) -> "StoredDataset":
+        """Create a dataset directory from an in-memory table (version 0).
+
+        ``shard_rows`` splits the initial import into fixed-size shards (one
+        shard when omitted), giving zone-map pruning something to skip.
+        """
+        directory = Path(directory)
+        if (directory / "MANIFEST.json").exists():
+            raise StorageError(f"dataset already exists at {directory}")
+        if shard_rows is not None and shard_rows < 1:
+            raise StorageError(f"shard_rows must be positive, got {shard_rows}")
+        (directory / SHARD_DIR).mkdir(parents=True, exist_ok=True)
+        schema = [{"name": c.name,
+                   "kind": NUMERIC if c.numeric else CATEGORICAL}
+                  for c in table.columns()]
+        manifest = Manifest(name=name, schema=schema,
+                            vocabs={c.name: [] for c in table.columns()
+                                    if not c.numeric})
+        dataset = cls.__new__(cls)
+        dataset.directory = directory
+        dataset._lock = threading.Lock()
+        dataset.manifest = manifest
+        rows_per_shard = shard_rows or table.n_rows
+        start = 0
+        while start < table.n_rows:
+            stop = min(start + rows_per_shard, table.n_rows)
+            batch = table.take(np.arange(start, stop))
+            manifest.shards.append(dataset._write_shard(batch))
+            start = stop
+        commit_manifest(directory, manifest)
+        sweep_temp_files(directory)
+        return dataset
+
+    def append(self, batch: Table, expected_version: int | None = None
+               ) -> ShardInfo:
+        """Durably append a batch as one new shard and commit the manifest.
+
+        The shard file is fully written and renamed into place *before* the
+        manifest referencing it is atomically replaced, so a crash at any
+        point leaves the previous committed state readable.  ``version``
+        advances by exactly one per successful append.
+
+        Appends are serialised against *other handles and processes* via an
+        advisory ``flock`` on the dataset directory (POSIX; best-effort
+        elsewhere): the manifest is re-read under the lock, so concurrent
+        appenders chain cleanly instead of overwriting each other's shard
+        files, and a stale ``expected_version`` fails fast.
+        """
+        with self._lock, _append_lock(self.directory):
+            manifest = load_manifest(self.directory)  # fresh committed state
+            if expected_version is not None and \
+                    manifest.version != expected_version:
+                raise StorageError(
+                    f"append expected version {expected_version}, "
+                    f"store is at {manifest.version}")
+            self._validate_batch(manifest, batch)
+            self.manifest = manifest
+            shard = self._write_shard(batch)
+            manifest.shards.append(shard)
+            manifest.version += 1
+            commit_manifest(self.directory, manifest)
+            sweep_temp_files(self.directory)
+            return shard
+
+    def _validate_batch(self, manifest: Manifest, batch: Table) -> None:
+        if batch.attributes != manifest.attributes:
+            raise StorageError(
+                f"batch schema {list(batch.attributes)} does not match "
+                f"stored schema {list(manifest.attributes)}")
+        for attribute in batch.attributes:
+            column = batch.column(attribute)
+            stored_numeric = manifest.kind(attribute) == NUMERIC
+            if column.numeric != stored_numeric and \
+                    column.n_missing() < len(column):
+                raise StorageError(
+                    f"batch column {attribute!r} is "
+                    f"{'numeric' if column.numeric else 'categorical'}, "
+                    f"store holds a "
+                    f"{'numeric' if stored_numeric else 'categorical'} column")
+
+    def _write_shard(self, batch: Table) -> ShardInfo:
+        """Encode, write, fingerprint, and rename one shard (no commit)."""
+        manifest = self.manifest
+        arrays: dict[str, np.ndarray] = {}
+        zone_maps: dict[str, dict] = {}
+        for attribute in manifest.attributes:
+            column = batch.column(attribute)
+            if manifest.kind(attribute) == NUMERIC:
+                values = _as_float64(column)
+                arrays[attribute] = values
+                zone_maps[attribute] = numeric_zone_map(values)
+            else:
+                codes = _as_store_codes(column, manifest.vocabs[attribute])
+                arrays[attribute] = codes
+                zone_maps[attribute] = categorical_zone_map(codes)
+        shard_id = f"shard-{len(manifest.shards):06d}"
+        relative = f"{SHARD_DIR}/{shard_id}.npz"
+        final = self.directory / relative
+        tmp = final.with_name(f"{final.name}{TMP_MARKER}{uuid.uuid4().hex}")
+        write_shard(tmp, arrays)
+        fingerprint = fingerprint_file(tmp)
+        os.replace(tmp, final)
+        return ShardInfo(shard_id=shard_id, file=relative, n_rows=batch.n_rows,
+                         fingerprint=fingerprint, zone_maps=zone_maps)
+
+    # ------------------------------------------------------------------ read path
+
+    def reload(self) -> Manifest:
+        """Re-read the committed manifest (picks up appends by other handles)."""
+        with self._lock:
+            self.manifest = load_manifest(self.directory)
+            return self.manifest
+
+    def load_table(self, prune: bool = True) -> "ShardedTable":
+        """The dataset as a lazily-loaded, zone-map-pruned table."""
+        manifest = self.manifest
+        decoders: dict[str, np.ndarray | None] = {}
+        sorted_vocabs: dict[str, tuple] = {}
+        for attribute in manifest.attributes:
+            if manifest.kind(attribute) != CATEGORICAL:
+                continue
+            store_vocab = manifest.vocabs[attribute]
+            sorted_vocab, remap = _sorted_remap(store_vocab)
+            sorted_vocabs[attribute] = sorted_vocab
+            decoders[attribute] = remap
+        handles = []
+        for shard in manifest.shards:
+            path = self.directory / shard.file
+            if is_temp_file(path.name):  # never committed; defensive
+                continue
+            if not path.exists():
+                raise StorageError(f"manifest references missing shard "
+                                   f"{shard.file} in {self.directory}")
+            handles.append(_ShardHandle(path, shard, decoders))
+        return ShardedTable(manifest, handles, sorted_vocabs, prune=prune)
+
+    def verify(self) -> None:
+        """Check every committed shard's content fingerprint (integrity scan)."""
+        for shard in self.manifest.shards:
+            actual = fingerprint_file(self.directory / shard.file)
+            if actual != shard.fingerprint:
+                raise StorageError(
+                    f"shard {shard.shard_id} fingerprint mismatch: "
+                    f"manifest {shard.fingerprint[:12]}…, file {actual[:12]}…")
+
+    def nbytes(self) -> int:
+        """Total committed shard bytes on disk."""
+        return sum((self.directory / shard.file).stat().st_size
+                   for shard in self.manifest.shards
+                   if (self.directory / shard.file).exists())
+
+    def stats(self) -> dict:
+        return {"name": self.manifest.name, "version": self.manifest.version,
+                "rows": self.manifest.n_rows,
+                "shards": len(self.manifest.shards), "bytes": self.nbytes()}
+
+
+class _ShardHandle:
+    """Lazily opened, memory-mapped view of one committed shard."""
+
+    def __init__(self, path: Path, info: ShardInfo,
+                 decoders: dict[str, np.ndarray | None]):
+        self.path = path
+        self.info = info
+        self._decoders = decoders
+        self._arrays: dict[str, np.ndarray] | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def n_rows(self) -> int:
+        return self.info.n_rows
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        with self._lock:
+            if self._arrays is None:
+                self._arrays = open_shard(self.path)
+            return self._arrays
+
+    def decoded(self, attribute: str) -> np.ndarray:
+        """The column's rows in in-memory encoding (sorted-vocab codes/floats)."""
+        raw = self.arrays()[attribute]
+        remap = self._decoders.get(attribute)
+        if remap is None:
+            return raw  # numeric, or store vocab already sorted: zero-copy
+        return remap[raw]  # store codes -> sorted codes; sentinel wraps
+
+
+class ShardedTable(Table):
+    """A :class:`Table` over committed shards with zone-map pruned scans.
+
+    Columns are lazy: each one concatenates its shards' (memory-mapped)
+    arrays on first touch.  ``select`` with a pattern condition prunes whole
+    shards via the manifest's zone maps before any mask is evaluated, so a
+    selective scan only decodes the shards that can contain matches — and
+    returns exactly what the unpruned scan would.
+    """
+
+    def __init__(self, manifest: Manifest, handles: list[_ShardHandle],
+                 sorted_vocabs: dict[str, tuple], prune: bool = True):
+        self._manifest = manifest
+        self._handles = handles
+        self._sorted_vocabs = sorted_vocabs
+        self._prune = prune
+        self._stats_lock = threading.Lock()
+        self._scans = 0
+        self._shards_scanned = 0
+        self._shards_skipped = 0
+        self._rows_skipped = 0
+        columns = [self._lazy_column(attribute, handles)
+                   for attribute in manifest.attributes]
+        super().__init__(columns, name=manifest.name)
+
+    @property
+    def version(self) -> int:
+        return self._manifest.version
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._handles)
+
+    def _lazy_column(self, attribute: str,
+                     handles: list[_ShardHandle]) -> LazyColumn:
+        numeric = self._manifest.kind(attribute) == NUMERIC
+        length = sum(h.n_rows for h in handles)
+
+        def loader() -> np.ndarray:
+            parts = [handle.decoded(attribute) for handle in handles]
+            if len(parts) == 1:
+                return parts[0]  # single shard: the memory map itself
+            if not parts:
+                return np.empty(0, dtype=np.float64 if numeric else np.int32)
+            return np.concatenate(parts)
+
+        return LazyColumn(attribute, numeric, length, loader,
+                          vocab=self._sorted_vocabs.get(attribute, ()))
+
+    # ------------------------------------------------------------------ pruned scans
+
+    def select(self, condition) -> Table:
+        """Pattern selections consult zone maps and skip whole shards."""
+        if not self._prune or len(self._handles) <= 1 or \
+                not isinstance(condition, (Pattern, Predicate)):
+            return super().select(condition)
+        vocabs = self._manifest.vocabs
+        survivors = [h for h in self._handles
+                     if pattern_may_match(h.info.zone_maps, condition, vocabs)]
+        with self._stats_lock:
+            self._scans += 1
+            self._shards_scanned += len(self._handles)
+            self._shards_skipped += len(self._handles) - len(survivors)
+            self._rows_skipped += sum(h.n_rows for h in self._handles
+                                      if h not in survivors)
+        if len(survivors) == len(self._handles):
+            return super().select(condition)
+        return self._subset(survivors).select(condition)
+
+    def _subset(self, handles: list[_ShardHandle]) -> Table:
+        """A plain lazy table over a subset of shards (same encodings)."""
+        if not handles:
+            columns = []
+            for attribute in self._manifest.attributes:
+                if self._manifest.kind(attribute) == NUMERIC:
+                    columns.append(Column._from_numeric_data(
+                        attribute, np.empty(0, dtype=np.float64)))
+                else:
+                    columns.append(Column.from_codes(
+                        attribute, np.empty(0, dtype=np.int32),
+                        self._sorted_vocabs[attribute]))
+            return Table(columns, name=self.name)
+        return Table([self._lazy_column(a, handles)
+                      for a in self._manifest.attributes], name=self.name)
+
+    def scan_stats(self) -> dict:
+        """Cumulative pruning counters for this table handle."""
+        with self._stats_lock:
+            return {"scans": self._scans,
+                    "shards_scanned": self._shards_scanned,
+                    "shards_skipped": self._shards_skipped,
+                    "rows_skipped": self._rows_skipped}
+
+
+# ---------------------------------------------------------------------- encoding
+
+
+def _as_float64(column: Column) -> np.ndarray:
+    if column.numeric:
+        return np.asarray(column.values, dtype=np.float64)
+    if column.n_missing() == len(column):  # all-missing batch column adopts
+        return np.full(len(column), np.nan)
+    raise StorageError(f"column {column.name!r} is categorical, "
+                       "store expects numeric")
+
+
+def _as_store_codes(column: Column, store_vocab: list) -> np.ndarray:
+    """Encode a column against the dataset's append-only store vocabulary.
+
+    New values are appended to ``store_vocab`` in first-seen order (the list
+    is mutated in place and committed with the manifest), so codes already
+    written in previous shards stay valid forever.
+    """
+    if column.numeric:
+        if column.n_missing() == len(column):
+            return np.full(len(column), MISSING_CODE, dtype=np.int32)
+        raise StorageError(f"column {column.name!r} is numeric, "
+                           "store expects categorical")
+    index = {value: code for code, value in enumerate(store_vocab)}
+    remap = np.empty(len(column.vocab) + 1, dtype=np.int32)
+    for local_code, value in enumerate(column.vocab):
+        store_code = index.get(value)
+        if store_code is None:
+            if not isinstance(value, _JSON_SAFE):
+                raise StorageError(
+                    f"column {column.name!r}: value {value!r} of type "
+                    f"{type(value).__name__} cannot live in a JSON vocabulary")
+            store_code = len(store_vocab)
+            store_vocab.append(value)
+            index[value] = store_code
+        remap[local_code] = store_code
+    remap[len(column.vocab)] = MISSING_CODE  # sentinel -1 wraps to last slot
+    return remap[column.codes]
+
+
+def _sorted_remap(store_vocab) -> tuple[tuple, np.ndarray | None]:
+    """``(sorted vocab, store-code -> sorted-code remap)``.
+
+    Delegates to :func:`repro.dataframe.column.sorted_code_remap` — the one
+    source of the deterministic vocabulary order — so loaded columns are
+    indistinguishable from freshly factorized ones.  ``remap`` is ``None``
+    when the store vocabulary is already sorted: codes then pass through
+    untouched (zero-copy reads).
+    """
+    return sorted_code_remap(store_vocab)

@@ -1,0 +1,197 @@
+"""On-disk format primitives: manifest model, atomic commits, fingerprints.
+
+A stored dataset is a directory::
+
+    <dataset dir>/
+        MANIFEST.json            # committed atomically via os.replace
+        shards/
+            shard-000000.npz     # uncompressed npz: one array per column
+            shard-000001.npz
+            ...
+
+The manifest is the single source of truth: it names the schema (column name
++ kind), the *store vocabularies* (append-only, first-seen-ordered value
+lists shared by every shard of a categorical column), the ordered shard list
+with per-shard row counts, content fingerprints and zone maps, and a
+monotonic ``version`` that advances by exactly one per committed append.
+
+Commits are crash-safe by construction: new shard files are written to
+``*.tmp-*`` names and ``os.replace``d into place *before* the manifest that
+references them is itself atomically replaced.  A reader therefore either
+sees the old manifest (ignoring any newer shard files and leftover temp
+files) or the new manifest with all its shards present — never a torn state.
+Stray ``*.tmp-*`` files from a crashed writer are ignored and cleaned up by
+the next successful commit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+SHARD_DIR = "shards"
+TMP_MARKER = ".tmp-"
+
+#: Kind tags used in the manifest schema.
+NUMERIC = "numeric"
+CATEGORICAL = "categorical"
+
+
+class StorageError(RuntimeError):
+    """Raised for malformed stores, manifests, or shard files."""
+
+
+# ---------------------------------------------------------------------- atomic io
+
+
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the target directory so the replace never crosses
+    filesystems; it is fsynced before the rename so a crash cannot leave a
+    committed-but-empty file.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}{TMP_MARKER}{uuid.uuid4().hex}")
+    with tmp.open("wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def atomic_write_json(path: Path, payload: dict) -> None:
+    atomic_write_bytes(Path(path), (json.dumps(payload, indent=2,
+                                               sort_keys=True) + "\n").encode())
+
+
+def read_json(path: Path) -> dict:
+    with Path(path).open("rb") as handle:
+        return json.loads(handle.read().decode())
+
+
+def is_temp_file(name: str) -> bool:
+    """Leftovers of interrupted commits — never part of the committed state."""
+    return TMP_MARKER in name
+
+
+def sweep_temp_files(directory: Path) -> int:
+    """Best-effort removal of leftover temp files under ``directory``."""
+    removed = 0
+    for entry in Path(directory).glob(f"**/*{TMP_MARKER}*"):
+        try:
+            entry.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - concurrent cleanup
+            pass
+    return removed
+
+
+def fingerprint_bytes(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def fingerprint_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with Path(path).open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------- manifest model
+
+
+@dataclass
+class ShardInfo:
+    """One committed shard: file name, row count, fingerprint, zone maps."""
+
+    shard_id: str
+    file: str
+    n_rows: int
+    fingerprint: str
+    #: ``{attribute: zone-map dict}`` — see :mod:`repro.storage.zonemap`.
+    zone_maps: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"id": self.shard_id, "file": self.file, "n_rows": self.n_rows,
+                "fingerprint": self.fingerprint, "zone_maps": self.zone_maps}
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "ShardInfo":
+        return cls(shard_id=spec["id"], file=spec["file"],
+                   n_rows=int(spec["n_rows"]), fingerprint=spec["fingerprint"],
+                   zone_maps=dict(spec.get("zone_maps", {})))
+
+
+@dataclass
+class Manifest:
+    """The committed state of one stored dataset."""
+
+    name: str
+    schema: list[dict]                 # [{"name": ..., "kind": ...}] in order
+    vocabs: dict[str, list]            # store vocab per categorical column
+    shards: list[ShardInfo] = field(default_factory=list)
+    version: int = 0
+    format_version: int = FORMAT_VERSION
+
+    @property
+    def n_rows(self) -> int:
+        return sum(s.n_rows for s in self.shards)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(entry["name"] for entry in self.schema)
+
+    def kind(self, attribute: str) -> str:
+        for entry in self.schema:
+            if entry["name"] == attribute:
+                return entry["kind"]
+        raise KeyError(f"unknown attribute {attribute!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": self.format_version,
+            "name": self.name,
+            "version": self.version,
+            "n_rows": self.n_rows,
+            "schema": self.schema,
+            "vocabs": self.vocabs,
+            "shards": [s.to_dict() for s in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "Manifest":
+        if spec.get("format_version") != FORMAT_VERSION:
+            raise StorageError(
+                f"unsupported format_version {spec.get('format_version')!r} "
+                f"(this build reads {FORMAT_VERSION})")
+        return cls(
+            name=spec["name"],
+            schema=list(spec["schema"]),
+            vocabs={k: list(v) for k, v in spec.get("vocabs", {}).items()},
+            shards=[ShardInfo.from_dict(s) for s in spec.get("shards", [])],
+            version=int(spec["version"]),
+            format_version=int(spec["format_version"]),
+        )
+
+
+def load_manifest(dataset_dir: Path) -> Manifest:
+    path = Path(dataset_dir) / MANIFEST_NAME
+    if not path.exists():
+        raise StorageError(f"no {MANIFEST_NAME} in {dataset_dir}")
+    try:
+        return Manifest.from_dict(read_json(path))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise StorageError(f"malformed manifest {path}: {exc}") from exc
+
+
+def commit_manifest(dataset_dir: Path, manifest: Manifest) -> None:
+    """Atomically replace the dataset's manifest (the commit point)."""
+    atomic_write_json(Path(dataset_dir) / MANIFEST_NAME, manifest.to_dict())

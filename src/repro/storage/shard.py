@@ -1,0 +1,93 @@
+"""Shard files: uncompressed ``.npz`` archives, written once, memory-mapped.
+
+One shard holds one array per column — ``float64`` data for numeric columns,
+``int32`` *store codes* for categorical columns (codes into the dataset's
+append-only store vocabulary, so a shard never needs rewriting when later
+appends extend the vocabulary).
+
+``np.load(..., mmap_mode="r")`` silently ignores ``mmap_mode`` for ``.npz``
+archives (it only memory-maps bare ``.npy`` files), so :func:`open_shard`
+implements the mapping itself: because the archive is written *uncompressed*
+(``np.savez``), every member's raw bytes sit contiguously in the file, and
+each array can be exposed as a ``np.memmap`` at the member's data offset —
+zero copies, no page touched until rows are actually read.  Anything
+unexpected (compressed members, pickled objects, exotic npy versions) falls
+back to a plain eager ``np.load``.
+"""
+
+from __future__ import annotations
+
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.storage.format import StorageError
+
+
+def write_shard(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    """Write column arrays as an uncompressed ``.npz`` (not yet committed).
+
+    The caller is responsible for atomic placement (write to a temp name and
+    ``os.replace``) and for recording the shard in the manifest.
+    """
+    if not arrays:
+        raise StorageError("a shard needs at least one column array")
+    for name, array in arrays.items():
+        if array.dtype == object:
+            raise StorageError(f"column {name!r}: object arrays cannot be "
+                               "stored (vocabularies live in the manifest)")
+    with Path(path).open("wb") as handle:
+        np.savez(handle, **arrays)
+
+
+def open_shard(path: Path, mmap: bool = True) -> dict[str, np.ndarray]:
+    """Open a shard, returning ``{column name: array}``.
+
+    With ``mmap=True`` (the default) arrays are read-only ``np.memmap`` views
+    into the archive — opening a shard costs a few header reads, not a data
+    copy.  Falls back to an eager load when the archive cannot be mapped.
+    """
+    path = Path(path)
+    if mmap:
+        try:
+            return _mmap_npz(path)
+        except (StorageError, OSError, ValueError):
+            pass  # fall back to the eager loader below
+    with np.load(path, allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def _mmap_npz(path: Path) -> dict[str, np.ndarray]:
+    """Memory-map every member of an uncompressed ``.npz`` archive."""
+    arrays: dict[str, np.ndarray] = {}
+    with path.open("rb") as handle, zipfile.ZipFile(handle) as archive:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise StorageError(f"{path.name}:{info.filename} is compressed")
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[:-4]
+            # Skip the local file header to the start of the member's bytes.
+            handle.seek(info.header_offset)
+            local = handle.read(30)
+            if local[:4] != b"PK\x03\x04":
+                raise StorageError(f"{path.name}: bad local header")
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            handle.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = \
+                    np.lib.format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran, dtype = \
+                    np.lib.format.read_array_header_2_0(handle)
+            else:
+                raise StorageError(f"{path.name}: npy version {version}")
+            if dtype.hasobject:
+                raise StorageError(f"{path.name}:{info.filename} has objects")
+            arrays[name] = np.memmap(path, dtype=dtype, mode="r",
+                                     offset=handle.tell(), shape=shape,
+                                     order="F" if fortran else "C")
+    return arrays

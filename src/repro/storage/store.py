@@ -1,0 +1,218 @@
+"""The store root: many datasets, one engine registry, warm-restart state.
+
+Layout::
+
+    <root>/
+        STORE.json                   # {"format_version": 1}
+        datasets/<name>/             # one StoredDataset directory each
+        engine/
+            registry.json            # dataset registrations (DAG, config, …)
+            summaries.pkl            # pickled summary-cache entries
+
+``registry.json`` records everything :meth:`ExplanationEngine.register_dataset`
+needs besides the table itself — the causal DAG, the CauSumX configuration,
+and the grouping/treatment attribute partitions — so
+``ExplanationEngine.from_store`` can rebuild a fully registered engine from
+the directory alone.  ``summaries.pkl`` holds the engine's LRU summary cache
+(pickled, so restored summaries are byte-identical Python objects); entries
+are validated against each dataset's committed manifest version on restore,
+so a cache snapshot can never resurrect summaries for stale data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+from pathlib import Path
+
+from repro.core import CauSumXConfig
+from repro.dataframe import Table
+from repro.graph import CausalDAG
+from repro.mining.treatments import TreatmentMinerConfig
+from repro.storage.dataset import StoredDataset
+from repro.storage.format import (
+    FORMAT_VERSION,
+    StorageError,
+    atomic_write_bytes,
+    atomic_write_json,
+    read_json,
+)
+
+_STORE_MARKER = "STORE.json"
+_DATASETS = "datasets"
+_ENGINE = "engine"
+_REGISTRY = "registry.json"
+_SUMMARIES = "summaries.pkl"
+
+
+class DatasetStore:
+    """A directory holding stored datasets plus persisted engine state."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        marker = self.root / _STORE_MARKER
+        if not marker.exists():
+            raise StorageError(
+                f"{self.root} is not a dataset store (missing {_STORE_MARKER}; "
+                f"run `repro store init` first)")
+        spec = read_json(marker)
+        if spec.get("format_version") != FORMAT_VERSION:
+            raise StorageError(
+                f"store format_version {spec.get('format_version')!r} "
+                f"unsupported (this build reads {FORMAT_VERSION})")
+        self._datasets: dict[str, StoredDataset] = {}
+
+    # ------------------------------------------------------------------ lifecycle
+
+    @classmethod
+    def init(cls, root: str | Path) -> "DatasetStore":
+        """Create an empty store at ``root`` (idempotent on an existing store)."""
+        root = Path(root)
+        if (root / _STORE_MARKER).exists():
+            return cls(root)
+        (root / _DATASETS).mkdir(parents=True, exist_ok=True)
+        (root / _ENGINE).mkdir(parents=True, exist_ok=True)
+        atomic_write_json(root / _STORE_MARKER,
+                          {"format_version": FORMAT_VERSION})
+        return cls(root)
+
+    # ------------------------------------------------------------------ datasets
+
+    def dataset_names(self) -> list[str]:
+        base = self.root / _DATASETS
+        if not base.exists():
+            return []
+        return sorted(p.name for p in base.iterdir()
+                      if (p / "MANIFEST.json").exists())
+
+    def dataset(self, name: str) -> StoredDataset:
+        """Open (and cache) the handle for one stored dataset."""
+        handle = self._datasets.get(name)
+        if handle is None:
+            directory = self.root / _DATASETS / name
+            if not (directory / "MANIFEST.json").exists():
+                raise StorageError(
+                    f"no dataset {name!r} in store {self.root} "
+                    f"(have: {self.dataset_names()})")
+            handle = StoredDataset(directory)
+            self._datasets[name] = handle
+        return handle
+
+    def import_table(self, name: str, table: Table,
+                     shard_rows: int | None = None) -> StoredDataset:
+        """Write an in-memory table as a new stored dataset (version 0)."""
+        handle = StoredDataset.create(self.root / _DATASETS / name, name,
+                                      table, shard_rows=shard_rows)
+        self._datasets[name] = handle
+        return handle
+
+    def import_bundle(self, bundle, config: CauSumXConfig | None = None,
+                      name: str | None = None,
+                      shard_rows: int | None = None) -> StoredDataset:
+        """Import a :class:`~repro.datasets.DatasetBundle` plus its registration.
+
+        Writes the table shards *and* a registry entry (DAG, config,
+        grouping/treatment attributes), so ``repro serve --store`` can serve
+        the dataset without re-deriving anything.
+        """
+        name = name or bundle.name
+        handle = self.import_table(name, bundle.table, shard_rows=shard_rows)
+        self.register_entry(
+            name, dag=bundle.dag, config=config,
+            grouping_attributes=bundle.grouping_attributes,
+            treatment_attributes=bundle.treatment_attributes)
+        return handle
+
+    # ------------------------------------------------------------------ registry
+
+    def registry(self) -> dict:
+        path = self.root / _ENGINE / _REGISTRY
+        if not path.exists():
+            return {}
+        return read_json(path)
+
+    def register_entry(self, name: str, dag: CausalDAG | None = None,
+                       config: CauSumXConfig | None = None,
+                       grouping_attributes=None,
+                       treatment_attributes=None) -> None:
+        """Record (or replace) one dataset's engine registration."""
+        registry = self.registry()
+        registry[name] = {
+            "dag": dag.to_dict() if dag is not None else None,
+            "config": config_to_dict(config) if config is not None else None,
+            "grouping_attributes": list(grouping_attributes)
+            if grouping_attributes is not None else None,
+            "treatment_attributes": list(treatment_attributes)
+            if treatment_attributes is not None else None,
+        }
+        (self.root / _ENGINE).mkdir(parents=True, exist_ok=True)
+        atomic_write_json(self.root / _ENGINE / _REGISTRY, registry)
+
+    # ------------------------------------------------------------------ warm restarts
+
+    def snapshot(self, engine) -> dict:
+        """Persist the engine's restorable state into the store.
+
+        Refreshes ``registry.json`` from the engine's live registrations and
+        pickles the summary-cache entries of every store-backed dataset.
+        Returns ``{"datasets": ..., "summaries": ...}`` counts.  Summaries
+        are keyed ``(dataset, version, fingerprint)``; on restore only the
+        entries matching each dataset's committed manifest version are
+        accepted, so snapshots taken moments before a crash can never serve
+        stale explanations.
+        """
+        names = set(self.dataset_names())
+        registered = 0
+        for name in engine.datasets():
+            if name not in names:
+                continue
+            state = engine.dataset_state(name)
+            self.register_entry(
+                name, dag=state.dag, config=state.config,
+                grouping_attributes=state.grouping_attributes,
+                treatment_attributes=state.treatment_attributes)
+            registered += 1
+        entries = [(key, summary)
+                   for key, summary in engine.summary_cache_items()
+                   if key[0] in names]
+        payload = pickle.dumps({"format_version": FORMAT_VERSION,
+                                "entries": entries},
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        (self.root / _ENGINE).mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(self.root / _ENGINE / _SUMMARIES, payload)
+        return {"datasets": registered, "summaries": len(entries)}
+
+    def load_summaries(self) -> list[tuple]:
+        """The pickled summary-cache entries, or ``[]`` when none were saved."""
+        path = self.root / _ENGINE / _SUMMARIES
+        if not path.exists():
+            return []
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        if payload.get("format_version") != FORMAT_VERSION:
+            return []
+        return list(payload.get("entries", []))
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> dict:
+        return {name: self.dataset(name).stats()
+                for name in self.dataset_names()}
+
+
+# ---------------------------------------------------------------------- config codec
+
+
+def config_to_dict(config: CauSumXConfig) -> dict:
+    """JSON-compatible encoding of a :class:`CauSumXConfig` (nested miner too)."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(spec: dict) -> CauSumXConfig:
+    spec = dict(spec)
+    treatment = spec.pop("treatment", None)
+    if isinstance(treatment, dict):
+        spec["treatment"] = TreatmentMinerConfig(**treatment)
+    elif treatment is not None:
+        spec["treatment"] = treatment
+    return CauSumXConfig(**spec)

@@ -71,3 +71,46 @@ class TestCSV:
         write_csv(table, path)
         loaded = read_csv(path)
         assert loaded.column("n").numeric
+
+
+class TestCSVKinds:
+    def test_all_missing_columns_keep_their_kind(self, tmp_path):
+        from repro.dataframe import Column
+
+        table = Table([
+            Column("num", np.array([np.nan, np.nan]), numeric=True),
+            Column("cat", [None, None], numeric=False),
+        ])
+        path = tmp_path / "allmissing.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.column("num").numeric
+        assert not loaded.column("cat").numeric
+        assert loaded == table
+
+    def test_round_trip_equality_mixed_missing(self, tmp_path, simple_table):
+        path = tmp_path / "rt.csv"
+        write_csv(simple_table, path)
+        assert read_csv(path).column("Age").numeric
+
+    def test_streamed_encoding_matches_column_factorize(self, tmp_path):
+        rows = [["x", "v"], ["b", "1"], ["a", ""], ["b", "2.5"], ["", "nan"], ["c", "3"]]
+        path = tmp_path / "enc.csv"
+        with path.open("w", newline="") as handle:
+            import csv as _csv
+            _csv.writer(handle).writerows(rows)
+        loaded = read_csv(path)
+        reference = Table.from_columns({
+            "x": ["b", "a", "b", None, "c"],
+            "v": [1, None, 2.5, None, 3],
+        })
+        assert loaded.column("x").vocab == reference.column("x").vocab
+        assert (loaded.column("x").codes == reference.column("x").codes).all()
+        assert loaded == reference
+
+    def test_short_rows_padded_with_missing(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("a,b\n1,x\n2\n")
+        loaded = read_csv(path)
+        assert loaded.n_rows == 2
+        assert loaded.column("b").values[1] is None

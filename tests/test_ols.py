@@ -59,3 +59,33 @@ class TestOLSFit:
         y = 1.0 + 2.0 * x
         result = ols_fit(design, y)
         assert result.r_squared == pytest.approx(1.0)
+
+
+class TestReusableDesign:
+    def test_byte_identical_to_hstack_path(self):
+        from repro.causal.ols import ReusableDesign
+
+        rng = np.random.default_rng(7)
+        n = 500
+        confounders = rng.normal(size=(n, 3))
+        outcome = rng.normal(size=n)
+        design = ReusableDesign(confounders, ["z0", "z1", "z2"])
+        for seed in range(5):
+            treated = np.random.default_rng(seed).random(n) < 0.4
+            reused = design.fit(treated, outcome)
+            stacked = ols_fit(
+                np.hstack([np.ones((n, 1)),
+                           treated.astype(np.float64).reshape(-1, 1),
+                           confounders]),
+                outcome, ["intercept", "__treatment__", "z0", "z1", "z2"])
+            assert reused.coefficients.tobytes() == stacked.coefficients.tobytes()
+            assert reused.std_errors.tobytes() == stacked.std_errors.tobytes()
+            assert reused.p_values.tobytes() == stacked.p_values.tobytes()
+
+    def test_no_confounders_and_empty_rows(self):
+        from repro.causal.ols import ReusableDesign
+
+        design = ReusableDesign(np.empty((4, 0)), [])
+        result = design.fit(np.array([True, False, True, False]),
+                            np.array([2.0, 1.0, 2.0, 1.0]))
+        assert result.coefficient("__treatment__") == pytest.approx(1.0)
