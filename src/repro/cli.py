@@ -103,6 +103,19 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--max-workers", type=int, default=4,
                        help="thread-pool width across distinct queries")
 
+    plan = sub.add_parser(
+        "plan", help="show how a query would execute (chosen conjunct order, "
+                     "estimated vs actual selectivities, shard skips) "
+                     "without mining any treatment")
+    _add_source_arguments(plan, "group-by-average SQL query "
+                                "(default: the dataset's representative query)",
+                          required=False)
+    plan.add_argument("--store", type=Path, default=None,
+                      help="plan against a dataset of an on-disk store")
+    plan.add_argument("--store-dataset", default=None,
+                      help="with --store: dataset to plan against "
+                           "(default: the only/first dataset)")
+
     case = sub.add_parser("case-study", help="run one of the paper's case studies")
     case.add_argument("name", choices=sorted(CASE_STUDIES),
                       help="case-study identifier (paper figure)")
@@ -130,6 +143,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     store_ls = store_sub.add_parser("ls", help="list a store's datasets")
     store_ls.add_argument("root", type=Path, help="store directory")
+
+    store_compact = store_sub.add_parser(
+        "compact", help="merge undersized shards (and optionally re-cluster "
+                        "by a sort key), rebuilding zone maps, statistics, "
+                        "and fingerprints")
+    store_compact.add_argument("root", type=Path, help="store directory")
+    store_compact.add_argument("name", help="dataset to compact")
+    store_compact.add_argument("--shard-rows", type=int, default=None,
+                               help="target rows per rewritten shard "
+                                    "(default: the largest current shard)")
+    store_compact.add_argument("--cluster-by", default=None,
+                               help="stably re-sort the whole dataset by "
+                                    "this attribute while rewriting")
+    store_compact.add_argument("--min-rows", type=int, default=None,
+                               help="shards smaller than this are merged "
+                                    "(default: the target shard size)")
     return parser
 
 
@@ -301,6 +330,22 @@ def _cmd_store(args: argparse.Namespace) -> int:
                   f"version={stats['version']}  bytes={stats['bytes']}  "
                   f"[{registered}]")
         return 0
+    if args.store_command == "compact":
+        try:
+            store = DatasetStore(args.root)
+            result = store.compact(args.name, shard_rows=args.shard_rows,
+                                   cluster_by=args.cluster_by,
+                                   min_rows=args.min_rows)
+        except StorageError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        clustered = f"  clustered by {result['cluster_by']}" \
+            if result["cluster_by"] else ""
+        print(f"compacted {args.name!r}: shards "
+              f"{result['shards_before']} -> {result['shards_after']} "
+              f"({result['rewritten']} rewritten){clustered}  "
+              f"version={result['version']}")
+        return 0
     # import
     source = _load_source(args, require_query=False, machine_output=True)
     if source is None:
@@ -319,6 +364,90 @@ def _cmd_store(args: argparse.Namespace) -> int:
     stats = store.dataset(name).stats()
     print(f"imported {name!r}: rows={stats['rows']} shards={stats['shards']} "
           f"bytes={stats['bytes']} -> {args.root}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Print one query's chosen plan: estimated vs actual selectivities."""
+    if args.store is not None:
+        if args.dataset or args.csv:
+            print("error: --store cannot be combined with --dataset/--csv",
+                  file=sys.stderr)
+            return 2
+        if not args.query:
+            print("error: --query is required with --store", file=sys.stderr)
+            return 2
+        from repro.storage import DatasetStore, StorageError
+
+        try:
+            store = DatasetStore(args.store)
+        except StorageError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        names = store.dataset_names()
+        if not names:
+            print(f"error: store {args.store} holds no datasets",
+                  file=sys.stderr)
+            return 2
+        name = args.store_dataset or names[0]
+        if name not in names:
+            print(f"error: no dataset {name!r} in store (have: {names})",
+                  file=sys.stderr)
+            return 2
+        engine = ExplanationEngine.from_store(store, max_workers=1)
+        query = args.query
+    else:
+        # Planning needs no causal DAG, so the table/query resolve directly
+        # (no PC discovery run for --csv input, unlike `repro explain`).
+        if args.dataset:
+            bundle = load_dataset(args.dataset, n=args.n, seed=args.seed)
+            table, query, name = bundle.table, bundle.query, args.dataset
+        elif args.csv:
+            table = read_csv(args.csv)
+            query, name = None, args.csv.stem
+        else:
+            print("error: one of --dataset, --csv, or --store is required",
+                  file=sys.stderr)
+            return 2
+        if args.query:
+            query = parse_query(args.query)
+        if query is None:
+            print("error: --query is required with --csv", file=sys.stderr)
+            return 2
+        engine = ExplanationEngine(max_workers=1)
+        engine.register_dataset(name, table)
+    try:
+        report = engine.explain_plan(name, query)
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report["logical_plan"])
+    print(f"\ndataset {report['dataset']!r} v{report['version']}  "
+          f"fingerprint {report['fingerprint']}  "
+          f"planner {'on' if report['planner_enabled'] else 'off (oracle)'}")
+    scan = report["scan"]
+    if scan is None:
+        print("scan: no WHERE clause (or planner disabled) — full scan")
+    else:
+        order = "planner-reordered" if scan["reordered"] else "canonical order"
+        print(f"scan ({order}):")
+        for i, conjunct in enumerate(scan["conjuncts"], start=1):
+            actual = conjunct["actual_selectivity"]
+            print(f"  {i}. {conjunct['predicate']}  "
+                  f"est={conjunct['estimated_selectivity']:.4f}  "
+                  f"actual={'n/a' if actual is None else format(actual, '.4f')}  "
+                  f"cost={conjunct['cost']:g}  "
+                  f"candidates {conjunct['candidates_in']} -> "
+                  f"{conjunct['candidates_out']}")
+        shards = scan["shards"]
+        if shards["total"]:
+            print(f"shards: {shards['total']} total, "
+                  f"{shards['zone_map_skipped']} zone-map skipped, "
+                  f"{shards['stats_skipped']} stats skipped, "
+                  f"{shards['scanned']} scanned")
+    rows = report["rows"]
+    print(f"rows: {rows['table']} -> {rows['filtered']}  "
+          f"groups: {report['groups']}")
     return 0
 
 
@@ -365,6 +494,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_batch(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     return _cmd_case_study(args)
 
 

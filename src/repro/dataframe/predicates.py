@@ -69,13 +69,32 @@ class Predicate:
         """
         column = table.column(self.attribute)
         if column.numeric:
-            values = column.values
-            target = float(self.value)
-            valid = ~np.isnan(values)
-            with np.errstate(invalid="ignore"):
-                comparison = _numeric_compare(values, self.op, target)
-            return comparison & valid
-        codes = column.codes
+            return self._evaluate_values(column.values)
+        return self._evaluate_codes(column.codes, column)
+
+    def evaluate_at(self, table, indices: np.ndarray) -> np.ndarray:
+        """Evaluate over a candidate subset: ``evaluate(table)[indices]``.
+
+        The short-circuit scan executor (:mod:`repro.plan.execute`) calls
+        this for every conjunct after the first, so a selective leading
+        predicate shrinks the kernel work of everything behind it.  The
+        kernels are the same as :meth:`evaluate`, applied to the fancy-indexed
+        storage — the result is exactly the full mask restricted to
+        ``indices``.
+        """
+        column = table.column(self.attribute)
+        if column.numeric:
+            return self._evaluate_values(column.values[indices])
+        return self._evaluate_codes(column.codes[indices], column)
+
+    def _evaluate_values(self, values: np.ndarray) -> np.ndarray:
+        target = float(self.value)
+        valid = ~np.isnan(values)
+        with np.errstate(invalid="ignore"):
+            comparison = _numeric_compare(values, self.op, target)
+        return comparison & valid
+
+    def _evaluate_codes(self, codes: np.ndarray, column) -> np.ndarray:
         if self.op is Op.EQ:
             code = column.vocab_code(self.value)
             if code is None:  # value absent from the vocabulary: nothing matches

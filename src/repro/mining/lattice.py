@@ -63,7 +63,7 @@ class PatternLattice:
             cached = self.atom_cache.get(cache_key)
             if cached is not None:
                 return list(cached)
-        predicates: list[Predicate] = []
+        candidates: list[tuple[Predicate, int | None]] = []
         for attribute in self.attributes:
             column = self.table.column(attribute)
             # Candidate values come straight from the dictionary-encoded
@@ -73,29 +73,74 @@ class PatternLattice:
             if not counts:
                 continue
             if column.numeric and len(counts) > self.max_values_per_attribute:
-                predicates.extend(self._numeric_predicates(attribute))
+                candidates.extend(self._numeric_predicates(attribute))
             else:
                 values = sorted(counts, key=lambda v: (-counts[v], repr(v)))
                 values = values[:self.max_values_per_attribute]
-                predicates.extend(Predicate(attribute, Op.EQ, v) for v in values)
+                # An equality atom's support is exactly the value's count
+                # (missing values satisfy neither), known without any mask.
+                candidates.extend((Predicate(attribute, Op.EQ, v), counts[v])
+                                  for v in values)
         if self.mask_cache is not None and self.min_support > 0:
-            predicates = [p for p in predicates
-                          if self.mask_cache.support(p) >= self.min_support]
+            predicates = self._prune_by_support(candidates)
+        else:
+            predicates = [p for p, _ in candidates]
         if self.atom_cache is not None:
             self.atom_cache[cache_key] = tuple(predicates)
         return predicates
 
-    def _numeric_predicates(self, attribute: str) -> list[Predicate]:
+    def _prune_by_support(
+            self, candidates: list[tuple[Predicate, int | None]]
+    ) -> list[Predicate]:
+        """Drop atoms whose full-table support is below ``min_support``.
+
+        With planning enabled, the supports computed *during enumeration*
+        (value counts for equality atoms, one sorted pass for threshold
+        atoms) decide directly: low-support atoms are deferred — pruned
+        without ever evaluating their boolean masks — and surviving atoms'
+        masks are left to be computed (and cached) on first real use.  The
+        surviving atom list is identical to the oracle's, which evaluates
+        every atom's mask through the shared cache to take its support.
+        """
+        from repro.plan.config import planner_enabled
+        from repro.plan.planner import GLOBAL_PLANNER_STATS
+
+        if not planner_enabled():
+            return [p for p, _ in candidates
+                    if self.mask_cache.support(p) >= self.min_support]
+        survivors = []
+        deferred = 0
+        for predicate, support in candidates:
+            if support is None:  # no closed form: fall back to the mask
+                support = self.mask_cache.support(predicate)
+            if support >= self.min_support:
+                survivors.append(predicate)
+            else:
+                deferred += 1
+        GLOBAL_PLANNER_STATS.record_deferred_atoms(deferred)
+        return survivors
+
+    def _numeric_predicates(self, attribute: str
+                            ) -> list[tuple[Predicate, int]]:
+        """Threshold atoms at quantile cuts, with their exact supports.
+
+        One sorted pass per attribute prices every cut: ``searchsorted``
+        gives the row count at or below each threshold, so the support of
+        both atoms of a cut is known without evaluating either mask.
+        """
         values = self.table.column(attribute).values.astype(np.float64)
         values = values[~np.isnan(values)]
         if values.size == 0:
             return []
         quantiles = np.linspace(0, 1, self.numeric_bins + 1)[1:-1]
         cuts = sorted({round(float(np.quantile(values, q)), 6) for q in quantiles})
+        ordered = np.sort(values)
         predicates = []
         for cut in cuts:
-            predicates.append(Predicate(attribute, Op.LE, cut))
-            predicates.append(Predicate(attribute, Op.GT, cut))
+            at_or_below = int(np.searchsorted(ordered, cut, side="right"))
+            predicates.append((Predicate(attribute, Op.LE, cut), at_or_below))
+            predicates.append((Predicate(attribute, Op.GT, cut),
+                               int(ordered.size) - at_or_below))
         return predicates
 
     def level_one(self) -> list[Pattern]:

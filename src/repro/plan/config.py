@@ -1,0 +1,50 @@
+"""Process-wide switch between planned and oracle (unplanned) execution.
+
+The query planner must be *semantics-free*: planned execution returns exactly
+the rows, views, and summaries the pre-planner code paths produced.  To make
+that falsifiable, the old paths are kept intact behind this flag — tests (and
+``benchmarks/bench_planner.py``) run the same workload once planned and once
+inside :func:`oracle_mode` and assert byte-identical results.
+
+The flag is deliberately process-global rather than threaded through every
+call site: the planner sits *underneath* ``Table.select``-shaped entry points
+(``AggregateView``, ``ShardedTable.select``, the lattice atom enumeration)
+whose signatures the rest of the system treats as stable.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+_lock = threading.Lock()
+_enabled = True
+
+
+def planner_enabled() -> bool:
+    """Whether selectivity-aware planning is active (default: yes)."""
+    return _enabled
+
+
+def set_planner_enabled(enabled: bool) -> bool:
+    """Flip the global planning flag; returns the previous value."""
+    global _enabled
+    with _lock:
+        previous = _enabled
+        _enabled = bool(enabled)
+        return previous
+
+
+@contextmanager
+def oracle_mode():
+    """Run the enclosed block through the pre-planner code paths.
+
+    Used by tests as the ground-truth oracle: every consumer falls back to
+    left-to-right full-mask predicate evaluation, plain zone-map-only shard
+    pruning, and mask-based lattice support checks.
+    """
+    previous = set_planner_enabled(False)
+    try:
+        yield
+    finally:
+        set_planner_enabled(previous)

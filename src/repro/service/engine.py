@@ -58,17 +58,22 @@ import numpy as np
 
 from repro.causal import CATEEstimator
 from repro.core import CauSumX, CauSumXConfig, ExplanationSummary
-from repro.dataframe import Pattern, Table
+from repro.dataframe import MaskCache, Pattern, Table
 from repro.graph import CausalDAG
+from repro.plan import GLOBAL_PLANNER_STATS, lower_query, planner_enabled
 from repro.service.lru import LRUCache
 from repro.sql import (
     AggregateView,
     GroupByAvgQuery,
-    normalize_literal,
     normalize_query,
     parse_query,
-    query_fingerprint,
 )
+
+
+#: Distinct WHERE predicates whose masks one dataset's cache may hold before
+#: it is flushed (each mask costs ``n_rows`` bytes; recomputing is one
+#: vectorized kernel pass, so flushing beats unbounded growth).
+WHERE_MASK_CACHE_LIMIT = 128
 
 
 @dataclass(frozen=True)
@@ -142,6 +147,9 @@ class ExplanationEngine:
             weigher=_summary_nbytes if memory_budget is not None else None)
         self._flights: dict[tuple, _Flight] = {}
         self._flights_lock = threading.Lock()
+        #: name -> (data version, MaskCache over the registered table): the
+        #: shared cache planned WHERE scans route repeated conjuncts through.
+        self._where_masks: dict[str, tuple[int, MaskCache]] = {}
         self._computations = 0
         self._coalesced = 0
         self._batch_deduped = 0
@@ -297,7 +305,10 @@ class ExplanationEngine:
         start = time.perf_counter()
         state = self.dataset_state(name)
         canonical = self._canonical(query)
-        fingerprint = query_fingerprint(canonical)
+        # The canonical query lowers to the plan IR; the plan's fingerprint
+        # is the cache key (two spellings of one question share a plan).
+        plan = lower_query(canonical)
+        fingerprint = plan.fingerprint
         key = (name, state.version, fingerprint)
         info = {"dataset": name, "version": state.version,
                 "fingerprint": fingerprint, "cached": False, "coalesced": False}
@@ -318,7 +329,7 @@ class ExplanationEngine:
                     self._flights[key] = flight
             if leader:
                 try:
-                    summary = self._compute(state, canonical)
+                    summary = self._compute(state, canonical, plan)
                     if use_summary_cache:
                         self._summary_cache.put(key, summary)
                     flight.summary = summary
@@ -350,7 +361,7 @@ class ExplanationEngine:
         summary object.
         """
         canonicals = [self._canonical(q) for q in queries]
-        fingerprints = [query_fingerprint(c) for c in canonicals]
+        fingerprints = [lower_query(c).fingerprint for c in canonicals]
         first_index: dict[str, int] = {}
         for i, fp in enumerate(fingerprints):
             first_index.setdefault(fp, i)
@@ -369,6 +380,43 @@ class ExplanationEngine:
                 futures = {fingerprints[i]: pool.submit(run, i) for i in distinct}
                 computed = {fp: f.result() for fp, f in futures.items()}
         return [computed[fp] for fp in fingerprints]
+
+    def explain_plan(self, name: str, query: GroupByAvgQuery | str) -> dict:
+        """Describe how one query would execute, without mining treatments.
+
+        Returns the lowered logical plan, the physical conjunct schedule with
+        **estimated vs. actual** per-conjunct selectivities, and the shard
+        zone-map/statistics skip counts.  The scan really runs (that is where
+        the actuals come from) and warms the view cache, so a subsequent
+        :meth:`explain` of the same query reuses the materialised view.
+        """
+        state = self.dataset_state(name)
+        canonical = self._canonical(query)
+        plan = lower_query(canonical)
+        view = self._view(state, canonical, plan)
+        scan_plan = view.scan_plan if planner_enabled() else None
+        if planner_enabled() and plan.conjuncts and scan_plan is None:
+            # The cached view predates the current planner mode (it was
+            # materialised under oracle_mode): re-execute the scan now so
+            # the report's actuals describe this call, not a stale build.
+            from repro.plan import planned_select_with_plan
+
+            _, scan_plan = planned_select_with_plan(
+                state.table, plan.filter,
+                mask_cache=self._where_mask_cache(state))
+        scan = scan_plan.to_dict() if scan_plan is not None else None
+        return {
+            "dataset": name,
+            "version": state.version,
+            "fingerprint": plan.fingerprint,
+            "sql": canonical.to_sql(),
+            "planner_enabled": planner_enabled(),
+            "logical_plan": plan.render(),
+            "scan": scan,
+            "rows": {"table": state.table.n_rows,
+                     "filtered": view.table.n_rows},
+            "groups": view.m,
+        }
 
     # ------------------------------------------------------------------ incremental data
 
@@ -453,10 +501,23 @@ class ExplanationEngine:
                 carried.append(((name, new_state.version, where_key, average),
                                 _Population(where, estimator)))
 
+            # The WHERE mask cache extends the same way: cached conjunct
+            # masks are revalidated by evaluating the appended rows only, so
+            # selectivity-planned scans on the new version start warm.
+            with self._datasets_lock:
+                where_entry = self._where_masks.get(name)
+            carried_where = None
+            if where_entry is not None and where_entry[0] == state.version \
+                    and len(where_entry[1]) <= WHERE_MASK_CACHE_LIMIT:
+                carried_where = (new_state.version,
+                                 where_entry[1].extended(new_table, appended))
+
             with self._datasets_lock:
                 invalidated = self._invalidate(name)
                 for key, population in carried:
                     self._population_cache.put(key, population)
+                if carried_where is not None:
+                    self._where_masks[name] = carried_where
                 self._datasets[name] = new_state
             return {"dataset": name, "version": new_state.version,
                     "appended_rows": appended.n_rows,
@@ -511,8 +572,20 @@ class ExplanationEngine:
                 entry["scan"] = scan_stats()
             if entry:
                 storage[state.name] = entry
+        with self._datasets_lock:
+            where_masks = {name: entry[1].stats()
+                           for name, entry in self._where_masks.items()}
+        planner = {
+            "enabled": planner_enabled(),
+            **GLOBAL_PLANNER_STATS.snapshot(),
+            "where_mask_caches": {
+                name: {"hits": s.hits, "misses": s.misses,
+                       "entries": s.entries, "bytes": s.bytes}
+                for name, s in where_masks.items()},
+        }
         result = {
             "datasets": datasets,
+            "planner": planner,
             "plan_cache": level(self._plan_cache),
             "view_cache": level(self._view_cache),
             "population_cache": level(self._population_cache),
@@ -546,17 +619,12 @@ class ExplanationEngine:
             query = parsed
         return normalize_query(query)
 
-    @staticmethod
-    def _where_key(where: Pattern) -> tuple:
-        return tuple((p.attribute, p.op.value, repr(normalize_literal(p.value)))
-                     for p in where)
-
-    def _compute(self, state: DatasetState,
-                 canonical: GroupByAvgQuery) -> ExplanationSummary:
+    def _compute(self, state: DatasetState, canonical: GroupByAvgQuery,
+                 plan) -> ExplanationSummary:
         with self._flights_lock:
             self._computations += 1
-        view = self._view(state, canonical)
-        population = self._population(state, canonical, view)
+        view = self._view(state, canonical, plan)
+        population = self._population(state, plan, view)
         algorithm = CauSumX(state.table, state.dag, state.config)
         return algorithm.explain(
             canonical,
@@ -564,23 +632,56 @@ class ExplanationEngine:
             treatment_attributes=state.treatment_attributes,
             view=view, estimator=population.estimator)
 
-    def _view(self, state: DatasetState,
-              canonical: GroupByAvgQuery) -> AggregateView:
-        key = (state.name, state.version, query_fingerprint(canonical))
+    def _view(self, state: DatasetState, canonical: GroupByAvgQuery,
+              plan) -> AggregateView:
+        key = (state.name, state.version, plan.fingerprint)
         view = self._view_cache.get(key)
         if view is None:
-            view = AggregateView(state.table, canonical)
+            view = AggregateView(state.table, canonical,
+                                 mask_cache=self._where_mask_cache(state))
             self._view_cache.put(key, view)
         return view
 
-    def _population(self, state: DatasetState, canonical: GroupByAvgQuery,
+    def _where_mask_cache(self, state: DatasetState) -> MaskCache:
+        """The per-dataset-version mask cache WHERE conjuncts route through.
+
+        Different queries over one dataset repeat the same WHERE predicates;
+        routing the planned scan through a shared
+        :class:`~repro.dataframe.MaskCache` makes a repeated subexpression
+        one cached AND instead of a kernel pass.  (Storage-backed tables
+        skip it inside ``planned_select`` — shard pruning wins there.)
+
+        The cache is bounded: each entry is one ``n_rows``-byte mask, so
+        once a workload of ever-distinct predicates pushes past
+        ``WHERE_MASK_CACHE_LIMIT`` entries the cache is flushed rather than
+        allowed to grow for the life of the process (unlike the LRU levels,
+        masks are cheap to recompute and expensive to keep).
+        """
+        with self._datasets_lock:
+            entry = self._where_masks.get(state.name)
+            if entry is not None:
+                version, cache = entry
+                if version == state.version:
+                    if len(cache) > WHERE_MASK_CACHE_LIMIT:
+                        cache.clear()
+                    return cache
+                if version > state.version:
+                    # A reader still mid-flight on the previous data version
+                    # (append_rows already installed the extended cache for
+                    # the new one): serve it a private throwaway cache
+                    # instead of clobbering the warm entry.
+                    return MaskCache(state.table)
+            cache = MaskCache(state.table)
+            self._where_masks[state.name] = (state.version, cache)
+            return cache
+
+    def _population(self, state: DatasetState, plan,
                     view: AggregateView) -> _Population:
-        key = (state.name, state.version, self._where_key(canonical.where),
-               canonical.average)
+        key = (state.name, state.version, plan.where_key, plan.average)
         population = self._population_cache.get(key)
         if population is None:
-            estimator = self._make_estimator(state, view.table, canonical.average)
-            population = _Population(canonical.where, estimator)
+            estimator = self._make_estimator(state, view.table, plan.average)
+            population = _Population(plan.filter, estimator)
             self._population_cache.put(key, population)
         return population
 
@@ -595,6 +696,7 @@ class ExplanationEngine:
         for cache in (self._summary_cache, self._view_cache,
                       self._population_cache):
             invalidated += cache.purge(lambda key: key[0] == name)
+        self._where_masks.pop(name, None)
         return invalidated
 
 

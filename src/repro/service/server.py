@@ -7,6 +7,7 @@ Two entry points, both wired into the CLI:
   request) or a JSON object::
 
       {"op": "explain", "query": "SELECT ...", "id": 7}
+      {"op": "explain_plan", "query": "SELECT ..."}
       {"op": "batch", "queries": ["SELECT ...", ...]}
       {"op": "append_rows", "rows": [{"A": 1, ...}, ...]}
       {"op": "stats"}
@@ -64,6 +65,9 @@ def handle_request(engine: ExplanationEngine, dataset: str, line: str) -> dict:
                         "cached": info["cached"], "coalesced": info["coalesced"],
                         "fingerprint": info["fingerprint"],
                         "version": info["version"]}
+        elif op == "explain_plan":
+            response = {"ok": True,
+                        "result": engine.explain_plan(target, request["query"])}
         elif op == "batch":
             summaries = engine.explain_many(target, list(request["queries"]))
             response = {"ok": True,

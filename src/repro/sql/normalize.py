@@ -18,8 +18,6 @@ cached summary for both.  Two layers provide that:
 
 from __future__ import annotations
 
-import hashlib
-
 import numpy as np
 
 from repro.dataframe import Pattern, Predicate
@@ -71,13 +69,13 @@ def query_fingerprint(query: GroupByAvgQuery) -> str:
     Queries that normalise to the same canonical form share a fingerprint;
     the digest is independent of the table name and of the process (no
     ``id()``/hash-randomised content).
+
+    Since the query-plan IR landed, the fingerprint *is* the plan
+    fingerprint: the query is lowered with
+    :func:`~repro.plan.ir.lower_query` and the digest comes from
+    :attr:`~repro.plan.ir.LogicalPlan.fingerprint` (same encoding as the
+    pre-planner digest, so persisted summary-cache snapshots stay valid).
     """
-    canonical = normalize_query(query)
-    parts = [
-        "gb=" + ",".join(canonical.group_by),
-        "avg=" + canonical.average,
-        "where=" + "&".join(
-            f"{p.attribute}{p.op.value}{type(p.value).__name__}:{p.value!r}"
-            for p in canonical.where),
-    ]
-    return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:16]
+    from repro.plan.ir import lower_query  # local: sql is imported by plan
+
+    return lower_query(query).fingerprint

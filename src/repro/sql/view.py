@@ -8,6 +8,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.dataframe import Pattern, Table
+from repro.plan.execute import planned_select_with_plan
 from repro.sql.query import GroupByAvgQuery
 
 
@@ -38,15 +39,26 @@ class AggregateView:
     each group, which the grouping-pattern coverage logic needs.
     """
 
-    def __init__(self, table: Table, query: GroupByAvgQuery):
+    def __init__(self, table: Table, query: GroupByAvgQuery,
+                 mask_cache=None):
         query.validate(table)
         self.query = query
         self.base_table = table
-        # Shard-pruned scan: a storage-backed ShardedTable consults its
-        # per-shard zone maps inside select(), so a selective WHERE clause
-        # decodes only the shards that can contain matching rows (the serving
-        # layer surfaces the cumulative pruning counters in stats()).
-        self.table = table if query.where.is_empty() else table.select(query.where)
+        # The WHERE clause executes through the query planner: conjuncts run
+        # in estimated-selectivity × cost order with short-circuit AND, a
+        # storage-backed ShardedTable additionally skips whole shards via
+        # zone maps and column statistics, and a caller-supplied MaskCache
+        # (the serving engine's per-dataset WHERE cache) amortises repeated
+        # predicates across queries.  The executed ScanPlan — estimated vs
+        # actual per-conjunct selectivities, shard-skip counts — is kept on
+        # ``scan_plan`` for ``explain_plan`` introspection.  With planning
+        # disabled (oracle mode) this is exactly ``table.select(where)``.
+        self.scan_plan = None
+        if query.where.is_empty():
+            self.table = table
+        else:
+            self.table, self.scan_plan = planned_select_with_plan(
+                table, query.where, mask_cache=mask_cache)
         # One factorized group index backs membership lists, the averages, and
         # the covered-groups test — the rows are never rescanned per group.
         self._index = self.table.group_index(list(query.group_by))

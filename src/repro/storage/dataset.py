@@ -37,6 +37,23 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 from repro.dataframe import MISSING_CODE, Column, LazyColumn, Pattern, Predicate, Table
 from repro.dataframe.column import sorted_code_remap
+from repro.dataframe.predicates import Op
+from repro.plan.config import planner_enabled
+from repro.plan.execute import scan_indices
+from repro.plan.planner import GLOBAL_PLANNER_STATS, plan_scan
+from repro.plan.stats import (
+    DEFAULT_TOP_K,
+    UNRESOLVED,
+    CategoricalColumnStats,
+    NumericColumnStats,
+    merge_column_stats,
+    remap_categorical_codes,
+    resolve_store_code,
+    stats_from_dict,
+    stats_may_match,
+    stats_to_dict,
+    table_stats,
+)
 from repro.storage.format import (
     CATEGORICAL,
     NUMERIC,
@@ -173,22 +190,38 @@ class StoredDataset:
                     f"store holds a "
                     f"{'numeric' if stored_numeric else 'categorical'} column")
 
-    def _write_shard(self, batch: Table) -> ShardInfo:
-        """Encode, write, fingerprint, and rename one shard (no commit)."""
+    def _write_shard(self, batch: Table,
+                     shard_seq: int | None = None) -> ShardInfo:
+        """Encode, write, fingerprint, and rename one shard (no commit).
+
+        Besides the zone maps, every column's **statistics** are collected
+        here — equi-depth numeric histograms and categorical top-k code
+        frequencies in store-code space — and travel in the manifest, so
+        selectivity estimates refresh with every committed shard and are
+        never derived by re-scanning committed data.
+        """
         manifest = self.manifest
         arrays: dict[str, np.ndarray] = {}
         zone_maps: dict[str, dict] = {}
+        column_stats: dict[str, dict] = {}
         for attribute in manifest.attributes:
             column = batch.column(attribute)
             if manifest.kind(attribute) == NUMERIC:
                 values = _as_float64(column)
                 arrays[attribute] = values
                 zone_maps[attribute] = numeric_zone_map(values)
+                column_stats[attribute] = stats_to_dict(
+                    NumericColumnStats.from_values(values))
             else:
                 codes = _as_store_codes(column, manifest.vocabs[attribute])
                 arrays[attribute] = codes
                 zone_maps[attribute] = categorical_zone_map(codes)
-        shard_id = f"shard-{len(manifest.shards):06d}"
+                column_stats[attribute] = stats_to_dict(
+                    CategoricalColumnStats.from_codes(codes,
+                                                      top_k=DEFAULT_TOP_K))
+        if shard_seq is None:
+            shard_seq = _next_shard_seq(manifest)
+        shard_id = f"shard-{shard_seq:06d}"
         relative = f"{SHARD_DIR}/{shard_id}.npz"
         final = self.directory / relative
         tmp = final.with_name(f"{final.name}{TMP_MARKER}{uuid.uuid4().hex}")
@@ -196,7 +229,160 @@ class StoredDataset:
         fingerprint = fingerprint_file(tmp)
         os.replace(tmp, final)
         return ShardInfo(shard_id=shard_id, file=relative, n_rows=batch.n_rows,
-                         fingerprint=fingerprint, zone_maps=zone_maps)
+                         fingerprint=fingerprint, zone_maps=zone_maps,
+                         column_stats=column_stats)
+
+    # ------------------------------------------------------------------ maintenance
+
+    def compact(self, shard_rows: int | None = None,
+                cluster_by: str | None = None,
+                min_rows: int | None = None) -> dict:
+        """Merge undersized shards and optionally re-cluster by a sort key.
+
+        Two modes, both running under the dataset's cross-process append
+        lock and committing through the usual atomic-manifest protocol (new
+        shard files land under fresh monotonic names *before* the manifest
+        referencing them replaces the old one; the replaced files are
+        unlinked only after the commit):
+
+        * **merge** (default): runs of adjacent shards smaller than
+          ``min_rows`` (default: the largest current shard) are rewritten
+          into shards of up to ``shard_rows`` rows (default: ``min_rows``),
+          preserving row order.  Right-sized shards are left untouched —
+          their bytes, fingerprints, and statistics are not rewritten.
+        * **re-cluster** (``cluster_by=<attribute>``): the *whole* dataset
+          is stably sorted by the attribute (missing values last) and
+          rewritten into shards of ``shard_rows`` rows (default: the
+          largest current shard), which is what makes zone maps selective
+          for predicates over that attribute.
+
+        Every rewritten shard gets fresh zone maps, column statistics, and
+        content fingerprints.  ``version`` advances by one; live readers
+        holding the previous table should ``reload()`` before touching
+        columns they have not yet materialised.
+        """
+        with self._lock, _append_lock(self.directory):
+            manifest = load_manifest(self.directory)
+            self.manifest = manifest
+            before = len(manifest.shards)
+            if cluster_by is not None and \
+                    cluster_by not in manifest.attributes:
+                raise StorageError(
+                    f"cluster key {cluster_by!r} is not a stored attribute "
+                    f"(schema: {list(manifest.attributes)})")
+            if before == 0:
+                return {"name": manifest.name, "version": manifest.version,
+                        "shards_before": 0, "shards_after": 0,
+                        "rewritten": 0, "cluster_by": cluster_by}
+            if shard_rows is not None and shard_rows < 1:
+                raise StorageError(
+                    f"shard_rows must be positive, got {shard_rows}")
+            if min_rows is not None and min_rows < 1:
+                raise StorageError(
+                    f"min_rows must be positive, got {min_rows}")
+            largest = max(s.n_rows for s in manifest.shards)
+            if min_rows is None:
+                min_rows = shard_rows if shard_rows is not None else largest
+            target = shard_rows if shard_rows is not None \
+                else max(min_rows, largest)
+            seq = _next_shard_seq(manifest)
+            new_shards: list[ShardInfo] = []
+            replaced: list[ShardInfo] = []
+
+            def rewrite(batch: Table) -> None:
+                nonlocal seq
+                start = 0
+                while start < batch.n_rows:
+                    stop = min(start + target, batch.n_rows)
+                    part = batch.take(np.arange(start, stop))
+                    new_shards.append(self._write_shard(part, shard_seq=seq))
+                    seq += 1
+                    start = stop
+
+            if cluster_by is not None:
+                table = self.load_table(prune=False)
+                column = table.column(cluster_by)
+                keys = column.values if column.numeric else column.codes
+                if column.numeric:
+                    # argsort puts NaN last already; keep the sort stable.
+                    order = np.argsort(keys, kind="stable")
+                else:
+                    # Sentinel -1 (missing) sorts first; rotate it to the end.
+                    order = np.argsort(keys, kind="stable")
+                    n_missing = int((keys == MISSING_CODE).sum())
+                    order = np.concatenate([order[n_missing:],
+                                            order[:n_missing]])
+                replaced = list(manifest.shards)
+                rewrite(table.take(order))
+            else:
+                run: list[ShardInfo] = []
+
+                def flush_run() -> None:
+                    if len(run) >= 2:
+                        replaced.extend(run)
+                        rewrite(self._decode_shards(manifest, run))
+                    else:
+                        new_shards.extend(run)
+                    run.clear()
+
+                for shard in manifest.shards:
+                    if shard.n_rows < min_rows:
+                        run.append(shard)
+                    else:
+                        flush_run()
+                        new_shards.append(shard)
+                flush_run()
+
+            if not replaced:  # nothing to rewrite: no version churn
+                return {"name": manifest.name, "version": manifest.version,
+                        "shards_before": before, "shards_after": before,
+                        "rewritten": 0, "cluster_by": cluster_by}
+            manifest.shards = new_shards
+            manifest.version += 1
+            commit_manifest(self.directory, manifest)
+            sweep_temp_files(self.directory)
+            kept = {s.file for s in new_shards}
+            for shard in replaced:
+                if shard.file in kept:  # pragma: no cover - defensive
+                    continue
+                try:
+                    (self.directory / shard.file).unlink()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+            return {"name": manifest.name, "version": manifest.version,
+                    "shards_before": before, "shards_after": len(new_shards),
+                    "rewritten": len(replaced), "cluster_by": cluster_by}
+
+    def _decode_shards(self, manifest: Manifest,
+                       shards: list[ShardInfo]) -> Table:
+        """Materialise a run of committed shards as one in-memory table.
+
+        Goes through the same :class:`_ShardHandle` decode path the read
+        side uses (one archive open per shard, the shared store→sorted code
+        remap), so a compaction rewrite can never diverge from what a
+        reader would have seen.
+        """
+        decoders: dict[str, np.ndarray | None] = {}
+        sorted_vocabs: dict[str, tuple] = {}
+        for attribute in manifest.attributes:
+            if manifest.kind(attribute) == NUMERIC:
+                continue
+            sorted_vocabs[attribute], decoders[attribute] = _sorted_remap(
+                manifest.vocabs[attribute])
+        handles = [_ShardHandle(self.directory / shard.file, shard, decoders)
+                   for shard in shards]
+        columns = []
+        for attribute in manifest.attributes:
+            parts = [handle.decoded(attribute) for handle in handles]
+            merged = np.concatenate(parts) if len(parts) > 1 else parts[0]
+            if manifest.kind(attribute) == NUMERIC:
+                columns.append(Column._from_numeric_data(
+                    attribute, np.asarray(merged, dtype=np.float64)))
+            else:
+                columns.append(Column.from_codes(
+                    attribute, np.asarray(merged, dtype=np.int32),
+                    sorted_vocabs[attribute]))
+        return Table(columns, name=manifest.name)
 
     # ------------------------------------------------------------------ read path
 
@@ -259,6 +445,7 @@ class _ShardHandle:
         self.info = info
         self._decoders = decoders
         self._arrays: dict[str, np.ndarray] | None = None
+        self._parsed_stats: dict[str, object] = {}
         self._lock = threading.Lock()
 
     @property
@@ -278,6 +465,18 @@ class _ShardHandle:
         if remap is None:
             return raw  # numeric, or store vocab already sorted: zero-copy
         return remap[raw]  # store codes -> sorted codes; sentinel wraps
+
+    def column_stats(self, attribute: str):
+        """The shard's parsed column statistics (store-code space), cached.
+
+        The manifest dict is immutable once committed, so parsing it once
+        per handle is safe; the benign first-touch race stores identical
+        values.  ``None`` when the shard predates column statistics.
+        """
+        if attribute not in self._parsed_stats:
+            self._parsed_stats[attribute] = stats_from_dict(
+                self.info.column_stats.get(attribute))
+        return self._parsed_stats[attribute]
 
 
 class ShardedTable(Table):
@@ -300,6 +499,8 @@ class ShardedTable(Table):
         self._scans = 0
         self._shards_scanned = 0
         self._shards_skipped = 0
+        self._zone_map_skipped = 0
+        self._stats_skipped = 0
         self._rows_skipped = 0
         columns = [self._lazy_column(attribute, handles)
                    for attribute in manifest.attributes]
@@ -332,9 +533,13 @@ class ShardedTable(Table):
     # ------------------------------------------------------------------ pruned scans
 
     def select(self, condition) -> Table:
-        """Pattern selections consult zone maps and skip whole shards."""
-        if not self._prune or len(self._handles) <= 1 or \
-                not isinstance(condition, (Pattern, Predicate)):
+        """Pattern selections consult zone maps + statistics and skip shards."""
+        if not isinstance(condition, (Pattern, Predicate)):
+            return super().select(condition)
+        if planner_enabled():
+            return self.plan_shard_select(condition)[0]
+        # Oracle path: zone-map-only pruning, left-to-right full masks.
+        if not self._prune or len(self._handles) <= 1:
             return super().select(condition)
         vocabs = self._manifest.vocabs
         survivors = [h for h in self._handles
@@ -348,6 +553,84 @@ class ShardedTable(Table):
         if len(survivors) == len(self._handles):
             return super().select(condition)
         return self._subset(survivors).select(condition)
+
+    def plan_shard_select(self, condition):
+        """Selectivity-aware scan: ``(filtered table, executed ScanPlan)``.
+
+        Three-way decision per shard — zone-map skip, statistics-based skip
+        (covers manifests whose zone maps are absent), or scan — followed by
+        conjuncts ordered most-selective-cheapest-first with short-circuit
+        AND over the surviving shards.  Both skip layers are conservative
+        proofs, so the result equals the unplanned scan row for row.
+        """
+        predicates = [condition] if isinstance(condition, Predicate) else \
+            list(condition.predicates)
+        plan = plan_scan(self, condition, stats=table_stats(self))
+        vocabs = self._manifest.vocabs
+        # Resolve each equality literal's store code once, not once per
+        # shard — the lookup scans the append-ordered store vocabulary.
+        resolved: list[tuple[Predicate, object]] = []
+        for p in predicates:
+            code = UNRESOLVED
+            if p.op in (Op.EQ, Op.NE) and p.attribute in vocabs:
+                code = resolve_store_code(p.value, vocabs[p.attribute])
+            resolved.append((p, code))
+        survivors = []
+        zone_skipped = stats_skipped = rows_skipped = 0
+        prune = self._prune and len(self._handles) > 1
+        for handle in self._handles:
+            if prune and not pattern_may_match(handle.info.zone_maps,
+                                               condition, vocabs):
+                zone_skipped += 1
+                rows_skipped += handle.n_rows
+                continue
+            if prune and not all(
+                    stats_may_match(handle.column_stats(p.attribute), p,
+                                    vocabs.get(p.attribute), eq_code=code)
+                    for p, code in resolved):
+                stats_skipped += 1
+                rows_skipped += handle.n_rows
+                continue
+            survivors.append(handle)
+        plan.shards_total = len(self._handles)
+        plan.shards_zone_map_skipped = zone_skipped
+        plan.shards_stats_skipped = stats_skipped
+        if prune:  # unpruned/single-shard handles keep their counters at zero
+            with self._stats_lock:
+                self._scans += 1
+                self._shards_scanned += len(self._handles)
+                self._shards_skipped += zone_skipped + stats_skipped
+                self._zone_map_skipped += zone_skipped
+                self._stats_skipped += stats_skipped
+                self._rows_skipped += rows_skipped
+            GLOBAL_PLANNER_STATS.record_shards(zone_skipped, stats_skipped,
+                                               len(survivors))
+        subset = self if len(survivors) == len(self._handles) else \
+            self._subset(survivors)
+        indices = scan_indices(subset, plan)
+        return subset.take(indices), plan
+
+    def plan_column_stats(self, attribute: str):
+        """Merged manifest statistics of one column (sorted-code space).
+
+        The provider :func:`repro.plan.stats.table_stats` discovers on this
+        table: per-shard entries are summed (:func:`merge_column_stats`)
+        with categorical frequencies translated from store codes to the
+        sorted in-memory codes — no shard is decoded.  ``None`` (estimate
+        conservatively) when any shard predates column statistics.
+        """
+        parts = []
+        for handle in self._handles:
+            part = handle.column_stats(attribute)
+            if part is None:  # pre-planner shard: no provable statistics
+                return None
+            parts.append(part)
+        if not parts:
+            return None
+        if self._manifest.kind(attribute) != NUMERIC:
+            _, remap = _sorted_remap(self._manifest.vocabs[attribute])
+            parts = [remap_categorical_codes(part, remap) for part in parts]
+        return merge_column_stats(parts)
 
     def _subset(self, handles: list[_ShardHandle]) -> Table:
         """A plain lazy table over a subset of shards (same encodings)."""
@@ -366,12 +649,40 @@ class ShardedTable(Table):
                       for a in self._manifest.attributes], name=self.name)
 
     def scan_stats(self) -> dict:
-        """Cumulative pruning counters for this table handle."""
+        """Cumulative pruning counters for this table handle.
+
+        ``shards_skipped`` is the total; ``zone_map_skipped`` /
+        ``stats_skipped`` attribute planned skips to the mechanism that
+        proved them (zone maps win ties — they are consulted first).
+        """
         with self._stats_lock:
             return {"scans": self._scans,
                     "shards_scanned": self._shards_scanned,
                     "shards_skipped": self._shards_skipped,
+                    "zone_map_skipped": self._zone_map_skipped,
+                    "stats_skipped": self._stats_skipped,
                     "rows_skipped": self._rows_skipped}
+
+
+# ---------------------------------------------------------------------- naming
+
+
+def _next_shard_seq(manifest: Manifest) -> int:
+    """One past the highest shard sequence number ever committed.
+
+    Shard names are monotonic, *not* positional: compaction removes entries
+    from the middle of the shard list, so ``len(shards)`` can collide with a
+    kept shard's name — the max-derived sequence never can.  Files named
+    below the returned sequence but absent from the manifest are leftovers
+    of an interrupted rewrite; they are never referenced and get atomically
+    replaced if the name is ever reused.
+    """
+    highest = -1
+    for shard in manifest.shards:
+        suffix = shard.shard_id.rsplit("-", 1)[-1]
+        if suffix.isdigit():
+            highest = max(highest, int(suffix))
+    return highest + 1
 
 
 # ---------------------------------------------------------------------- encoding

@@ -110,7 +110,7 @@ def fingerprint_file(path: Path) -> str:
 
 @dataclass
 class ShardInfo:
-    """One committed shard: file name, row count, fingerprint, zone maps."""
+    """One committed shard: file, row count, fingerprint, zone maps, stats."""
 
     shard_id: str
     file: str
@@ -118,16 +118,24 @@ class ShardInfo:
     fingerprint: str
     #: ``{attribute: zone-map dict}`` — see :mod:`repro.storage.zonemap`.
     zone_maps: dict = field(default_factory=dict)
+    #: ``{attribute: column-statistics dict}`` in *store-code* space —
+    #: equi-depth numeric histograms / categorical top-k code frequencies,
+    #: collected at shard commit (see :mod:`repro.plan.stats`).  Absent in
+    #: manifests written before the planner landed (``{}`` — the planner
+    #: then estimates conservatively).
+    column_stats: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {"id": self.shard_id, "file": self.file, "n_rows": self.n_rows,
-                "fingerprint": self.fingerprint, "zone_maps": self.zone_maps}
+                "fingerprint": self.fingerprint, "zone_maps": self.zone_maps,
+                "column_stats": self.column_stats}
 
     @classmethod
     def from_dict(cls, spec: dict) -> "ShardInfo":
         return cls(shard_id=spec["id"], file=spec["file"],
                    n_rows=int(spec["n_rows"]), fingerprint=spec["fingerprint"],
-                   zone_maps=dict(spec.get("zone_maps", {})))
+                   zone_maps=dict(spec.get("zone_maps", {})),
+                   column_stats=dict(spec.get("column_stats", {})))
 
 
 @dataclass

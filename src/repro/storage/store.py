@@ -123,6 +123,14 @@ class DatasetStore:
             treatment_attributes=bundle.treatment_attributes)
         return handle
 
+    def compact(self, name: str, shard_rows: int | None = None,
+                cluster_by: str | None = None,
+                min_rows: int | None = None) -> dict:
+        """Compact one stored dataset (see :meth:`StoredDataset.compact`)."""
+        return self.dataset(name).compact(shard_rows=shard_rows,
+                                          cluster_by=cluster_by,
+                                          min_rows=min_rows)
+
     # ------------------------------------------------------------------ registry
 
     def registry(self) -> dict:
