@@ -1,0 +1,65 @@
+"""Command-line front-end: ``repro lint`` / ``python -m repro.analysis``.
+
+Exit codes: 0 clean, 1 findings, 2 crashes/unparseable files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import LintEngine, all_rules
+from .reporters import render_human, render_json
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` arguments to ``parser`` (shared with repro CLI)."""
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human", help="report format for stdout")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the report to FILE "
+                             "(same format as --format)")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--ignore", default=None, metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+
+
+def _split_rules(raw):
+    if not raw:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for cls in all_rules():
+            print(f"{cls.id}  {cls.name:<26} [{cls.severity}]  "
+                  f"{cls.description}")
+        return 0
+    engine = LintEngine(select=_split_rules(args.select),
+                        ignore=_split_rules(args.ignore))
+    report = engine.run(args.paths, root=Path.cwd())
+    rendered = (render_json(report) if args.format == "json"
+                else render_human(report))
+    print(rendered)
+    if args.out:
+        Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+    return report.exit_code()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-invariant static analyzer for the repro tree.")
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

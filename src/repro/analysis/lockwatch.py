@@ -1,0 +1,362 @@
+"""Runtime lock-order / deadlock detection for the serving stack.
+
+The static lock-order rule (RL002 in :mod:`repro.analysis.rules_locks`) only
+sees acquisitions nested *lexically* inside one function.  Real deadlocks are
+usually assembled across call boundaries — thread A holds the engine's
+mutation lock and walks into a cache, thread B holds the cache's lock and
+calls back up — which is exactly what this module observes at runtime.
+
+:class:`WatchedLock` wraps a plain ``threading.Lock`` under a *name* (a lock
+class, in the lockdep sense: every ``LRUCache._lock`` shares one name).  Each
+thread keeps a stack of the watched locks it currently holds; acquiring lock
+``B`` while holding ``A`` records the directed edge ``A → B`` (with the
+acquiring thread and call stack, captured once per distinct edge) into a
+process-wide :class:`LockWatchRegistry`.  Before every acquisition the
+registry checks whether the new edges close a cycle in the graph — the
+signature of a potential ABBA deadlock — and records a
+:class:`Violation` (or raises :class:`LockOrderError` in strict mode) *even
+when the run happens not to interleave fatally*.
+
+Instrumentation is **opt-in** and free when off: every lock in the serving
+stack is created through :func:`named_lock`, which returns a stock
+``threading.Lock`` unless watching is enabled via the environment variable
+``REPRO_LOCKWATCH`` (``1`` to record, ``strict`` to raise at the violating
+acquisition) or programmatically via :func:`enable` (used by the tests).
+
+Because identity is per lock *name*, two distinct instances of the same
+class's lock map onto one node.  That is the standard lockdep trade-off: it
+lets a single test run prove an ordering discipline for every future
+instance, at the cost of flagging deliberate same-class nesting (none exists
+in this codebase) as a self-cycle.
+
+This module deliberately imports nothing from ``repro`` — it sits below
+every layer that uses it.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from dataclasses import dataclass
+
+#: Environment toggle: unset/``0``/``false``/``off`` → disabled;
+#: ``strict`` → enabled and raising; anything else truthy → enabled, recording.
+ENV_VAR = "REPRO_LOCKWATCH"
+
+_STACK_LIMIT = 16
+
+
+class LockOrderError(RuntimeError):
+    """A lock-ordering cycle was observed (potential deadlock)."""
+
+
+@dataclass
+class LockEdge:
+    """``source`` was held while ``target`` was acquired, ``count`` times."""
+
+    source: str
+    target: str
+    count: int = 0
+    thread: str = ""
+    #: Call stack of the first acquisition that created this edge
+    #: (``file:line in function`` strings, innermost last).
+    stack: tuple = ()
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected ordering cycle.
+
+    ``cycle`` is the closed path of lock names (first == last); ``edges``
+    are the recorded :class:`LockEdge` objects along it, whose stacks show
+    where each ordering was established.
+    """
+
+    cycle: tuple
+    edges: tuple
+    thread: str
+
+    def describe(self) -> str:
+        lines = [f"lock-order cycle {' -> '.join(self.cycle)} "
+                 f"(closed by thread {self.thread!r})"]
+        for edge in self.edges:
+            lines.append(f"  {edge.source} -> {edge.target} "
+                         f"(x{edge.count}, first by {edge.thread!r})")
+            for frame in edge.stack[-4:]:
+                lines.append(f"    {frame}")
+        return "\n".join(lines)
+
+
+class LockWatchRegistry:
+    """Process-wide acquisition-order graph with cycle detection."""
+
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._edges: dict = {}          # guarded-by: _mutex
+        self._violations: list = []     # guarded-by: _mutex
+        self._acquisitions = 0          # guarded-by: _mutex
+        self._tls = threading.local()
+
+    # ------------------------------------------------------------------ per-thread state
+
+    def _held(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def held_locks(self) -> tuple:
+        """Names of the watched locks the calling thread currently holds."""
+        return tuple(self._held())
+
+    # ------------------------------------------------------------------ acquisition hooks
+
+    def before_acquire(self, name: str, strict: bool = False) -> None:
+        """Record ordering edges for acquiring ``name``; detect cycles.
+
+        Called *before* the underlying acquire so a genuinely deadlocking
+        interleaving still leaves its evidence in the registry.
+        """
+        held = self._held()
+        if not held:
+            return  # leaf acquisition: nothing to order against
+        thread = threading.current_thread().name
+        with self._mutex:
+            self._acquisitions += 1
+            fresh_stack = None
+            for source in held:
+                key = (source, name)
+                edge = self._edges.get(key)
+                if edge is None:
+                    if fresh_stack is None:
+                        fresh_stack = _capture_stack()
+                    edge = LockEdge(source=source, target=name,
+                                    thread=thread, stack=fresh_stack)
+                    self._edges[key] = edge
+                edge.count += 1
+            cycle = self._find_cycle_locked(name, held)
+            if cycle is not None:
+                edges = tuple(self._edges[(a, b)]
+                              for a, b in zip(cycle, cycle[1:])
+                              if (a, b) in self._edges)
+                violation = Violation(cycle=tuple(cycle), edges=edges,
+                                      thread=thread)
+                self._violations.append(violation)
+                if strict:
+                    raise LockOrderError(violation.describe())
+
+    def after_acquire(self, name: str) -> None:
+        self._held().append(name)
+
+    def note_release(self, name: str) -> None:
+        held = self._held()
+        # Remove the most recent acquisition of this name (locks are
+        # typically released LIFO, but out-of-order release is legal).
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == name:
+                del held[i]
+                return
+
+    def _find_cycle_locked(self, start: str, held: list):  # guarded-by: _mutex
+        """A cycle through ``start`` closed by a currently held lock, or None.
+
+        Acquiring ``start`` while holding ``h`` adds the edge ``h → start``;
+        a cycle therefore exists iff some path ``start →* h`` already exists
+        in the recorded graph.  Returns the closed path ``[h, start, .., h]``.
+        """
+        targets = {}
+        for (a, b) in self._edges:
+            targets.setdefault(a, []).append(b)
+        held_set = set(held)
+        # DFS from start, remembering the path; first held lock reached wins.
+        path = [start]
+        seen = set()
+
+        def dfs(node):
+            for nxt in sorted(targets.get(node, ())):
+                if nxt in held_set and nxt != start:
+                    path.append(nxt)
+                    return True
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                path.append(nxt)
+                if dfs(nxt):
+                    return True
+                path.pop()
+            return False
+
+        if start in held_set:  # re-acquiring a held (same-named) lock
+            return [start, start]
+        if dfs(start):
+            closing = path[-1]
+            return [closing] + path
+        return None
+
+    # ------------------------------------------------------------------ introspection
+
+    def edges(self) -> list:
+        with self._mutex:
+            return sorted(self._edges.values(),
+                          key=lambda e: (e.source, e.target))
+
+    def graph(self) -> dict:
+        """``{source: sorted targets}`` adjacency snapshot."""
+        adjacency: dict = {}
+        for edge in self.edges():
+            adjacency.setdefault(edge.source, []).append(edge.target)
+        return adjacency
+
+    @property
+    def violations(self) -> list:
+        with self._mutex:
+            return list(self._violations)
+
+    @property
+    def acquisitions(self) -> int:
+        with self._mutex:
+            return self._acquisitions
+
+    def cycles(self) -> list:
+        """Every elementary ordering cycle currently present in the graph."""
+        adjacency = self.graph()
+        cycles = []
+        seen_keys = set()
+        for origin in sorted(adjacency):
+            path = [origin]
+            on_path = {origin}
+
+            def dfs(node):
+                for nxt in adjacency.get(node, ()):
+                    if nxt == origin:
+                        key = frozenset(path)
+                        if key not in seen_keys:
+                            seen_keys.add(key)
+                            cycles.append(tuple(path + [origin]))
+                    elif nxt not in on_path and nxt > origin:
+                        path.append(nxt)
+                        on_path.add(nxt)
+                        dfs(nxt)
+                        on_path.discard(nxt)
+                        path.pop()
+
+            dfs(origin)
+        return cycles
+
+    def assert_acyclic(self) -> None:
+        """Raise :class:`LockOrderError` if any ordering cycle was observed."""
+        problems = self.violations
+        cycles = self.cycles()
+        if not problems and not cycles:
+            return
+        details = [v.describe() for v in problems]
+        details.extend(f"graph cycle: {' -> '.join(c)}" for c in cycles)
+        raise LockOrderError("\n".join(details))
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._edges.clear()
+            self._violations.clear()
+            self._acquisitions = 0
+
+
+def _capture_stack() -> tuple:
+    frames = traceback.extract_stack(limit=_STACK_LIMIT)
+    # Drop the lockwatch frames themselves (innermost two).
+    return tuple(f"{f.filename}:{f.lineno} in {f.name}" for f in frames[:-2])
+
+
+class WatchedLock:
+    """A ``threading.Lock`` recording acquisition order into a registry.
+
+    API-compatible with ``threading.Lock`` for the operations the codebase
+    uses (``acquire``/``release``/context manager/``locked``).
+    """
+
+    __slots__ = ("name", "_inner", "_registry", "_strict")
+
+    def __init__(self, name: str, registry: LockWatchRegistry | None = None,
+                 strict: bool | None = None):
+        self.name = name
+        self._inner = threading.Lock()
+        self._registry = registry if registry is not None else _REGISTRY
+        self._strict = is_strict() if strict is None else strict
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._registry.before_acquire(self.name, strict=self._strict)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._registry.after_acquire(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._registry.note_release(self.name)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"WatchedLock({self.name!r}, locked={self.locked()})"
+
+
+# ---------------------------------------------------------------------- module state
+
+_REGISTRY = LockWatchRegistry()
+_FORCED: bool | None = None
+_FORCED_STRICT: bool | None = None
+
+
+def registry() -> LockWatchRegistry:
+    """The process-wide registry all :func:`named_lock` locks report into."""
+    return _REGISTRY
+
+
+def enabled() -> bool:
+    """Whether newly created :func:`named_lock` locks are instrumented."""
+    if _FORCED is not None:
+        return _FORCED
+    value = os.environ.get(ENV_VAR, "").strip().lower()
+    return value not in ("", "0", "false", "off")
+
+
+def is_strict() -> bool:
+    """Whether a detected cycle raises at the acquisition site."""
+    if _FORCED_STRICT is not None:
+        return _FORCED_STRICT
+    return os.environ.get(ENV_VAR, "").strip().lower() == "strict"
+
+
+def enable(strict: bool = False) -> LockWatchRegistry:
+    """Programmatically turn watching on (tests); returns the registry."""
+    global _FORCED, _FORCED_STRICT
+    _FORCED = True
+    _FORCED_STRICT = strict
+    return _REGISTRY
+
+
+def disable() -> None:
+    """Undo :func:`enable`, reverting to the environment variable."""
+    global _FORCED, _FORCED_STRICT
+    _FORCED = None
+    _FORCED_STRICT = None
+
+
+def named_lock(name: str):
+    """A lock for ``name``: plain ``threading.Lock`` unless watching is on.
+
+    Every correctness-critical lock of the stack is created through this
+    factory, so setting ``REPRO_LOCKWATCH=1`` instruments the entire serving
+    path without touching a line of engine code.
+    """
+    if enabled():
+        return WatchedLock(name, _REGISTRY)
+    return threading.Lock()

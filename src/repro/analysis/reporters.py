@@ -1,0 +1,52 @@
+"""Human and JSON renderings of a :class:`~repro.analysis.core.LintReport`.
+
+The JSON form is the CI artifact: stable-sorted (findings by location, keys
+alphabetical) so consecutive runs diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .core import LintReport
+
+JSON_FORMAT_VERSION = 1
+
+
+def render_human(report: LintReport) -> str:
+    lines = []
+    for error in report.errors:
+        lines.append(error.render())
+    for finding in report.findings:
+        lines.append(finding.render())
+    by_rule = report.by_rule()
+    suppressed_total = sum(report.suppressed.values())
+    summary = (f"{report.files} file(s) checked: "
+               f"{len(report.findings)} finding(s), "
+               f"{len(report.errors)} error(s), "
+               f"{suppressed_total} suppressed")
+    if by_rule:
+        breakdown = ", ".join(f"{rule}={count}"
+                              for rule, count in sorted(by_rule.items()))
+        summary += f" [{breakdown}]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "format_version": JSON_FORMAT_VERSION,
+        "files": report.files,
+        "findings": [f.to_dict() for f in report.findings],
+        "errors": [e.to_dict() for e in report.errors],
+        "summary": {
+            "total": len(report.findings),
+            "errors": len(report.errors),
+            "by_rule": dict(sorted(report.by_rule().items())),
+            "suppressed": dict(sorted(report.suppressed.items())),
+            "suppressed_by_file": dict(
+                sorted(report.suppressed_by_file.items())),
+        },
+        "exit_code": report.exit_code(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

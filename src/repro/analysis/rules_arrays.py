@@ -1,0 +1,133 @@
+"""Array-discipline rules: RL003 explicit dtypes, RL004 codes immutability."""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, ModuleContext, Rule, register
+
+#: Top-level packages whose array constructors are on the serving hot path
+#: and feed byte-identical-output guarantees.
+KERNEL_PACKAGES = ("dataframe", "plan", "mining", "causal")
+
+#: ``np.<ctor>`` → index of the positional ``dtype`` parameter.
+_DTYPE_POSITION = {"array": 1, "zeros": 1, "empty": 1, "full": 2}
+
+#: The two private attributes that make up a Column's dictionary encoding.
+ENCODING_ATTRS = ("_codes", "_vocab")
+
+#: ndarray methods that mutate in place.
+MUTATING_METHODS = ("sort", "fill", "put", "resize", "partition", "itemset",
+                    "setfield", "byteswap", "setflags")
+
+
+@register
+class DtypeDisciplineRule(Rule):
+    """RL003: kernel-module array constructors must pass an explicit dtype.
+
+    ``np.array``/``np.zeros``/``np.empty``/``np.full`` default dtypes depend
+    on input inference (and, for ``array``, on the platform for ints), which
+    silently widens or narrows kernel intermediates.  In the kernel packages
+    every constructor states its dtype, positionally or by keyword.
+    """
+
+    id = "RL003"
+    name = "dtype-discipline"
+    severity = "warning"
+    description = ("numpy array constructor in a kernel module without an "
+                   "explicit dtype")
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return bool(ctx.module) and ctx.module[0] in KERNEL_PACKAGES
+
+    def check(self, ctx: ModuleContext):
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in ("np", "numpy")
+                    and func.attr in _DTYPE_POSITION):
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if len(node.args) > _DTYPE_POSITION[func.attr]:
+                continue  # dtype passed positionally
+            findings.append(Finding(
+                rule=self.id, severity=self.severity,
+                path=ctx.display_path, line=node.lineno, col=node.col_offset,
+                message=(f"`np.{func.attr}` without explicit `dtype=` in "
+                         f"kernel module; default dtype inference breaks "
+                         f"byte-stability")))
+        return findings
+
+
+@register
+class EncodingImmutabilityRule(Rule):
+    """RL004: ``_codes``/``_vocab`` are immutable outside ``dataframe/column``.
+
+    The dictionary encoding (int32 codes + sorted vocab) is shared across
+    masks, caches, and persisted shards; the only module allowed to write it
+    is the one that constructs it.  Reads are fine anywhere — this rule
+    flags assignments, deletions, and in-place ndarray mutators.
+    """
+
+    id = "RL004"
+    name = "encoding-immutability"
+    severity = "error"
+    description = ("write or in-place mutation of Column._codes/_vocab "
+                   "outside dataframe/column.py")
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.module != ("dataframe", "column")
+
+    def check(self, ctx: ModuleContext):
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    hit = _encoding_attr(target)
+                    if hit is not None:
+                        findings.append(self._finding(
+                            ctx, target, f"assignment to `{hit}`"))
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    hit = _encoding_attr(target)
+                    if hit is not None:
+                        findings.append(self._finding(
+                            ctx, target, f"deletion of `{hit}`"))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in MUTATING_METHODS):
+                    hit = _encoding_attr(func.value)
+                    if hit is not None:
+                        findings.append(self._finding(
+                            ctx, node,
+                            f"in-place `{func.attr}()` on `{hit}`"))
+        return findings
+
+    def _finding(self, ctx, node, what) -> Finding:
+        return Finding(
+            rule=self.id, severity=self.severity, path=ctx.display_path,
+            line=node.lineno, col=node.col_offset,
+            message=(f"{what}: the dictionary encoding is immutable outside "
+                     f"dataframe/column.py"))
+
+
+def _encoding_attr(node: ast.expr):
+    """``"_codes"``/``"_vocab"`` if ``node`` names an encoding attribute
+    (directly or through one subscript level), else ``None``.
+
+    Callers only pass write targets and mutator-call receivers, so a match
+    is a violation by construction; plain reads never reach this helper.
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute) and node.attr in ENCODING_ATTRS:
+        return node.attr
+    return None

@@ -1,0 +1,281 @@
+"""Lock-discipline rules: RL001 guarded-by and RL002 static lock ordering."""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, ModuleContext, Rule, register
+
+#: A ``with`` item counts as a lock acquisition when its name looks like one.
+_LOCKISH = ("lock", "mutex")
+
+
+def _lockish(name: str) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in _LOCKISH)
+
+
+def _with_item_lock_name(expr: ast.expr):
+    """The attribute/variable name a ``with`` item acquires, or ``None``.
+
+    Handles ``self._lock``, bare ``lock`` names, and calls such as
+    ``self._guard()`` / ``_append_lock(path)`` (contextmanager-style locks).
+    """
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _is_self_attr(expr: ast.expr):
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    return (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name) and expr.value.id == "self")
+
+
+@register
+class GuardedByRule(Rule):
+    """RL001: annotated attributes only touched under their declared lock.
+
+    An attribute assignment carrying ``# guarded-by: <lock>`` declares that
+    every read or write of ``self.<attr>`` (outside ``__init__``) must sit
+    lexically inside ``with self.<lock>``.  A ``# guarded-by:`` comment on a
+    ``def`` line declares locks the *caller* holds, seeding the held set for
+    that method (the ``_foo_locked`` helper convention).
+    """
+
+    id = "RL001"
+    name = "guarded-by"
+    severity = "error"
+    description = ("guarded-by annotated attribute accessed outside its "
+                   "``with self.<lock>`` block")
+
+    #: Constructors establish invariants before the object is shared.
+    EXEMPT_METHODS = ("__init__", "__new__")
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.imports_threading and bool(ctx.guarded_lines)
+
+    def check(self, ctx: ModuleContext):
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                guarded = self._collect_guarded(ctx, node)
+                if guarded:
+                    self._check_class(ctx, node, guarded, findings)
+        return findings
+
+    def _collect_guarded(self, ctx: ModuleContext, cls: ast.ClassDef) -> dict:
+        """``{attr: (lock, ...)}`` from annotated assignments in ``cls``."""
+        guarded: dict = {}
+        for node in ast.walk(cls):
+            locks = ctx.guarded_lines.get(getattr(node, "lineno", -1))
+            if not locks:
+                continue
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    guarded[target.attr] = locks
+                elif isinstance(target, ast.Name):
+                    # class-level field (dataclass style)
+                    guarded[target.id] = locks
+        return guarded
+
+    def _check_class(self, ctx, cls, guarded, findings):
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in self.EXEMPT_METHODS:
+                continue
+            held = set(ctx.guarded_lines.get(stmt.lineno, ()))
+            self._walk(ctx, stmt.body, guarded, held, findings)
+
+    def _walk(self, ctx, stmts, guarded, held, findings):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested function may run on another thread; only its own
+                # def-line annotation vouches for held locks.
+                inner = set(ctx.guarded_lines.get(stmt.lineno, ()))
+                self._walk(ctx, stmt.body, guarded, inner, findings)
+                continue
+            if isinstance(stmt, ast.With):
+                acquired = []
+                for item in stmt.items:
+                    name = _with_item_lock_name(item.context_expr)
+                    if name is not None and name not in held:
+                        acquired.append(name)
+                    self._scan_expr(ctx, item.context_expr, guarded, held,
+                                    findings)
+                held |= set(acquired)
+                self._walk(ctx, stmt.body, guarded, held, findings)
+                held -= set(acquired)
+                continue
+            for expr in _statement_exprs(stmt):
+                self._scan_expr(ctx, expr, guarded, held, findings)
+            for body in _statement_bodies(stmt):
+                self._walk(ctx, body, guarded, held, findings)
+
+    def _scan_expr(self, ctx, expr, guarded, held, findings):
+        if expr is None:
+            return
+        # Note: ast.walk descends into lambdas too; a guarded access inside a
+        # closure is flagged, which is the conservative (correct) choice —
+        # the closure may run on another thread.
+        for node in ast.walk(expr):
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in guarded):
+                locks = guarded[node.attr]
+                if not any(lock in held for lock in locks):
+                    want = " or ".join(f"self.{lock}" for lock in locks)
+                    findings.append(Finding(
+                        rule=self.id, severity=self.severity,
+                        path=ctx.display_path, line=node.lineno,
+                        col=node.col_offset,
+                        message=(f"`self.{node.attr}` is guarded by {want} "
+                                 f"but accessed outside a `with {want}` "
+                                 f"block")))
+
+
+def _statement_exprs(stmt):
+    """Expressions evaluated directly by ``stmt`` (not nested statements)."""
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        if isinstance(value, ast.expr):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    yield item
+
+
+def _statement_bodies(stmt):
+    for attr in ("body", "orelse", "finalbody"):
+        body = getattr(stmt, attr, None)
+        if body:
+            yield body
+    for handler in getattr(stmt, "handlers", ()):
+        yield handler.body
+
+
+@register
+class LockOrderRule(Rule):
+    """RL002: no lock pair may be acquired in both orders anywhere in the tree.
+
+    Nested ``with`` statements (and multi-item ``with a, b:``) define the
+    static acquisition order.  Lock identity is ``Class.attr`` for ``self``
+    attributes so that every ``LRUCache._lock`` instance — wherever the
+    acquiring code lives — maps onto one node, the same convention the
+    runtime lockwatch uses; module-level locks are module-scoped.  Edges
+    accumulate across all checked modules; :meth:`finalize` reports every
+    pair observed in both orders, citing both locations.  Acquiring the same
+    lock identity twice in one nest is reported immediately (self-deadlock
+    with non-reentrant ``threading.Lock``).
+    """
+
+    id = "RL002"
+    name = "lock-order"
+    severity = "error"
+    description = "inconsistent nested lock acquisition order (ABBA deadlock)"
+
+    def __init__(self):
+        #: ``{(outer, inner): (path, line, suppressed)}`` — first occurrence.
+        self._edges: dict = {}
+
+    def check(self, ctx: ModuleContext):
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._walk_function(ctx, node, findings)
+        return findings
+
+    def _walk_function(self, ctx, func, findings):
+        class_name = self._enclosing_class(ctx.tree, func)
+        self._walk(ctx, func.body, [], class_name, findings)
+
+    @staticmethod
+    def _enclosing_class(tree, func):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and func in node.body:
+                return node.name
+        return None
+
+    def _identity(self, ctx, expr, class_name):
+        name = _with_item_lock_name(expr)
+        if name is None or not _lockish(name):
+            return None
+        if _is_self_attr(expr):
+            owner = class_name or "<module>"
+            return f"{owner}.{name}"
+        module = ".".join(ctx.module) or ctx.display_path
+        return f"{module}.{name}"
+
+    def _walk(self, ctx, stmts, held, class_name, findings):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested function: a fresh call context (no lexically held
+                # locks are guaranteed when it eventually runs).
+                self._walk(ctx, stmt.body, [], class_name, findings)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                self._walk(ctx, stmt.body, [], stmt.name, findings)
+                continue
+            if isinstance(stmt, ast.With):
+                acquired = []
+                for item in stmt.items:
+                    ident = self._identity(ctx, item.context_expr, class_name)
+                    if ident is None:
+                        continue
+                    lineno = item.context_expr.lineno
+                    suppressed = ctx.suppressed(self.id, lineno)
+                    if ident in held or ident in acquired:
+                        finding = Finding(
+                            rule=self.id, severity=self.severity,
+                            path=ctx.display_path, line=lineno,
+                            col=item.context_expr.col_offset,
+                            message=(f"lock `{ident}` acquired while already "
+                                     f"held (non-reentrant self-deadlock)"))
+                        if not suppressed:
+                            findings.append(finding)
+                    for outer in held + acquired:
+                        key = (outer, ident)
+                        if key not in self._edges:
+                            self._edges[key] = (ctx.display_path, lineno,
+                                                suppressed)
+                    acquired.append(ident)
+                self._walk(ctx, stmt.body, held + acquired, class_name,
+                           findings)
+                continue
+            for body in _statement_bodies(stmt):
+                self._walk(ctx, body, held, class_name, findings)
+
+    def finalize(self):
+        findings = []
+        for (a, b), (path, line, suppressed) in sorted(self._edges.items()):
+            if a >= b:
+                continue  # report each unordered pair once, from (a, b)
+            reverse = self._edges.get((b, a))
+            if reverse is None:
+                continue
+            r_path, r_line, r_suppressed = reverse
+            if suppressed or r_suppressed:
+                continue
+            findings.append(Finding(
+                rule=self.id, severity=self.severity, path=path, line=line,
+                col=0,
+                message=(f"locks `{a}` and `{b}` are acquired in both orders: "
+                         f"`{a}` -> `{b}` here but `{b}` -> `{a}` at "
+                         f"{r_path}:{r_line} (ABBA deadlock)")))
+        return findings

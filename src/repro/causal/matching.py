@@ -73,7 +73,7 @@ def matching_ate(table: Table, treatment: Pattern, outcome: str,
         differences = outcome_values[treated_idx] - outcome_values[control_idx].mean()
     else:
         control_cov = covariates[control_idx]
-        differences = np.empty(treated_idx.size)
+        differences = np.empty(treated_idx.size, dtype=np.float64)
         k = min(n_neighbors, control_idx.size)
         for i, t in enumerate(treated_idx):
             distances = np.linalg.norm(control_cov - covariates[t], axis=1)

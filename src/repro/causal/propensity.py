@@ -21,7 +21,7 @@ def _logistic_fit(design: np.ndarray, target: np.ndarray, max_iter: int = 50,
                   tol: float = 1e-8, ridge: float = 1e-6) -> np.ndarray:
     """Fit logistic-regression weights by ridge-stabilised Newton-Raphson."""
     n, p = design.shape
-    beta = np.zeros(p)
+    beta = np.zeros(p, dtype=np.float64)
     for _ in range(max_iter):
         logits = design @ beta
         probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
@@ -66,7 +66,7 @@ def ipw_ate(table: Table, treatment: Pattern, outcome: str,
     if adjustment:
         scores = propensity_scores(table, treated, adjustment)
     else:
-        scores = np.full(table.n_rows, treated.mean())
+        scores = np.full(table.n_rows, treated.mean(), dtype=np.float64)
     scores = np.clip(scores, clip, 1.0 - clip)
 
     weights_treated = treated / scores

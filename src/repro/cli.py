@@ -14,6 +14,7 @@ Usage examples::
         --n 20000 --shard-rows 5000
     python -m repro store ls ./causumx-store
     python -m repro serve --store ./causumx-store              # warm restarts
+    python -m repro lint src --format json                     # invariant lint
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.core import CauSumX, CauSumXConfig, render_summary
 from repro.dataframe import read_csv
 from repro.datasets import list_datasets, load_dataset
@@ -115,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--store-dataset", default=None,
                       help="with --store: dataset to plan against "
                            "(default: the only/first dataset)")
+
+    lint = sub.add_parser(
+        "lint", help="run the project-invariant static analyzer "
+                     "(see repro.analysis)")
+    add_lint_arguments(lint)
 
     case = sub.add_parser("case-study", help="run one of the paper's case studies")
     case.add_argument("name", choices=sorted(CASE_STUDIES),
@@ -496,6 +503,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_store(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "lint":
+        return run_lint(args)
     return _cmd_case_study(args)
 
 

@@ -23,10 +23,11 @@ slices.
 
 from __future__ import annotations
 
-import threading
 from typing import Iterable, Sequence
 
 import numpy as np
+
+from repro.analysis.lockwatch import named_lock
 
 #: Code assigned to missing categorical values.  Never a valid vocab index.
 MISSING_CODE = -1
@@ -319,9 +320,9 @@ class LazyColumn(Column):
         self.name = name
         self.numeric = bool(numeric)
         self._length = int(length)
-        self._loader = loader
-        self._arr: np.ndarray | None = None
-        self._load_lock = threading.Lock()
+        self._load_lock = named_lock("LazyColumn._load_lock")
+        self._loader = loader  # guarded-by: _load_lock
+        self._arr: np.ndarray | None = None  # guarded-by: _load_lock
         self._values = None
         self._vocab = tuple(vocab)
         self._vocab_index = None
@@ -351,7 +352,8 @@ class LazyColumn(Column):
     @property
     def materialized(self) -> bool:
         """Whether the storage has been loaded yet (no load is triggered)."""
-        return self._arr is not None
+        with self._load_lock:
+            return self._arr is not None
 
     def __len__(self) -> int:
         return self._length
@@ -429,7 +431,8 @@ def _all_missing_as(column: "Column", like: "Column") -> "Column":
     """Re-type an all-missing column to match ``like``'s kind."""
     n = len(column)
     if like.numeric:
-        return Column._from_numeric_data(column.name, np.full(n, np.nan))
+        return Column._from_numeric_data(column.name,
+                                         np.full(n, np.nan, dtype=np.float64))
     return Column.from_codes(column.name,
                              np.full(n, MISSING_CODE, dtype=np.int32), ())
 

@@ -25,12 +25,12 @@ misses never serialize on the (potentially slow) predicate evaluation.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
 
+from repro.analysis.lockwatch import named_lock
 from repro.dataframe.predicates import Pattern, Predicate
 
 
@@ -72,10 +72,10 @@ class MaskCache:
 
     def __init__(self, table):
         self.table = table
-        self._masks: dict[tuple, np.ndarray] = {}
-        self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
+        self._lock = named_lock("MaskCache._lock")
+        self._masks: dict[tuple, np.ndarray] = {}  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------ masks
 

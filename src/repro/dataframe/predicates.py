@@ -183,7 +183,7 @@ class Pattern:
     @classmethod
     def equalities(cls, assignment: dict) -> "Pattern":
         """Build a conjunctive equality pattern from ``{attribute: value}``."""
-        return cls(Predicate(a, Op.EQ, v) for a, v in assignment.items())
+        return cls(Predicate(a, Op.EQ, v) for a, v in sorted(assignment.items()))
 
     def extend(self, predicate: Predicate) -> "Pattern":
         return Pattern(self.predicates + (predicate,))

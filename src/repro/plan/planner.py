@@ -25,6 +25,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.analysis.lockwatch import named_lock
 from repro.dataframe.predicates import Op, Pattern, Predicate
 from repro.plan.stats import TableStats, table_stats
 
@@ -144,14 +145,15 @@ def plan_scan(table, pattern: Pattern | Predicate,
 class PlannerStats:
     """Process-wide planner counters (thread-safe), surfaced by the engine."""
 
-    plans: int = 0
-    conjuncts_planned: int = 0
-    plans_reordered: int = 0
-    shards_zone_map_skipped: int = 0
-    shards_stats_skipped: int = 0
-    shards_scanned: int = 0
-    atoms_deferred: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    plans: int = 0  # guarded-by: _lock
+    conjuncts_planned: int = 0  # guarded-by: _lock
+    plans_reordered: int = 0  # guarded-by: _lock
+    shards_zone_map_skipped: int = 0  # guarded-by: _lock
+    shards_stats_skipped: int = 0  # guarded-by: _lock
+    shards_scanned: int = 0  # guarded-by: _lock
+    atoms_deferred: int = 0  # guarded-by: _lock
+    _lock: threading.Lock = field(
+        default_factory=lambda: named_lock("PlannerStats._lock"), repr=False)
 
     def record_plan(self, plan: ScanPlan) -> None:
         with self._lock:

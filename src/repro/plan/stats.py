@@ -100,7 +100,7 @@ class NumericColumnStats:
         # Collapse duplicate edges (heavy ties) so bucket widths stay positive.
         edges = np.unique(edges)
         if edges.size == 1:
-            edges = np.array([edges[0], edges[0]])
+            edges = np.array([edges[0], edges[0]], dtype=np.float64)
         # counts[i] = rows in [edges[i], edges[i+1]) — last bucket closed.
         upper = np.searchsorted(ordered, edges[1:], side="left")
         upper[-1] = ordered.size

@@ -56,6 +56,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.analysis.lockwatch import named_lock
 from repro.causal import CATEEstimator
 from repro.core import CauSumX, CauSumXConfig, ExplanationSummary
 from repro.dataframe import MaskCache, Pattern, Table
@@ -133,28 +134,28 @@ class ExplanationEngine:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = max_workers
         self.memory_budget = memory_budget
-        self._datasets: dict[str, DatasetState] = {}
-        self._datasets_lock = threading.Lock()
+        self._datasets_lock = named_lock("ExplanationEngine._datasets_lock")
+        self._datasets: dict[str, DatasetState] = {}  # guarded-by: _datasets_lock
         # Serialises mutations (append_rows) without blocking readers: the
         # heavy table/mask construction happens under this lock only, while
         # _datasets_lock is held just for the snapshot and the final swap.
-        self._mutation_lock = threading.Lock()
+        self._mutation_lock = named_lock("ExplanationEngine._mutation_lock")
         self._plan_cache = LRUCache(plan_cache_size)
         self._view_cache = LRUCache(view_cache_size)
         self._population_cache = LRUCache(population_cache_size)
         self._summary_cache = LRUCache(
             summary_cache_size, budget=memory_budget,
             weigher=_summary_nbytes if memory_budget is not None else None)
-        self._flights: dict[tuple, _Flight] = {}
-        self._flights_lock = threading.Lock()
+        self._flights_lock = named_lock("ExplanationEngine._flights_lock")
+        self._flights: dict[tuple, _Flight] = {}  # guarded-by: _flights_lock
         #: name -> (data version, MaskCache over the registered table): the
         #: shared cache planned WHERE scans route repeated conjuncts through.
-        self._where_masks: dict[str, tuple[int, MaskCache]] = {}
-        self._computations = 0
-        self._coalesced = 0
-        self._batch_deduped = 0
+        self._where_masks: dict[str, tuple[int, MaskCache]] = {}  # guarded-by: _datasets_lock
+        self._computations = 0  # guarded-by: _flights_lock
+        self._coalesced = 0  # guarded-by: _flights_lock
+        self._batch_deduped = 0  # guarded-by: _flights_lock
         self._store = None  # DatasetStore when built via from_store
-        self._restored_summaries = 0
+        self._restored_summaries = 0  # guarded-by: _flights_lock
 
     # ------------------------------------------------------------------ registration
 
@@ -251,7 +252,8 @@ class ExplanationEngine:
             if state is not None and state.version == version:
                 engine._summary_cache.put(key, summary)
                 restored += 1
-        engine._restored_summaries = restored
+        with engine._flights_lock:
+            engine._restored_summaries = restored
         return engine
 
     def snapshot(self) -> dict:
@@ -560,6 +562,7 @@ class ExplanationEngine:
             computations = self._computations
             coalesced = self._coalesced
             batch_deduped = self._batch_deduped
+            restored_summaries = self._restored_summaries
         storage: dict = {}
         with self._datasets_lock:
             states = list(self._datasets.values())
@@ -597,7 +600,7 @@ class ExplanationEngine:
         }
         if storage:
             result["storage"] = storage
-            result["restored_summaries"] = self._restored_summaries
+            result["restored_summaries"] = restored_summaries
         if self.memory_budget is not None:
             result["memory_budget"] = self.memory_budget.stats()
         return result
@@ -690,7 +693,7 @@ class ExplanationEngine:
                         average: str) -> CATEEstimator:
         return CauSumX.build_estimator(table, average, state.dag, state.config)
 
-    def _invalidate(self, name: str) -> int:
+    def _invalidate(self, name: str) -> int:  # guarded-by: _datasets_lock
         """Drop every cache entry belonging to dataset ``name`` (any version)."""
         invalidated = 0
         for cache in (self._summary_cache, self._view_cache,

@@ -16,10 +16,11 @@ bytes exceed the cap (the cross-engine memory budget of ROADMAP item (e)).
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable
+
+from repro.analysis.lockwatch import named_lock
 
 
 @dataclass(frozen=True)
@@ -65,15 +66,15 @@ class LRUCache:
         self.capacity = capacity
         self.budget = budget
         self.weigher = weigher
-        self._entries: OrderedDict = OrderedDict()
-        self._weights: dict = {}
-        self._stamps: dict = {}
-        self._total_bytes = 0
-        self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._invalidations = 0
+        self._lock = named_lock("LRUCache._lock")
+        self._entries: OrderedDict = OrderedDict()  # guarded-by: _lock
+        self._weights: dict = {}  # guarded-by: _lock
+        self._stamps: dict = {}  # guarded-by: _lock
+        self._total_bytes = 0  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._invalidations = 0  # guarded-by: _lock
         if budget is not None:
             budget.attach(self)
 
@@ -147,7 +148,8 @@ class LRUCache:
 
     @property
     def total_bytes(self) -> int:
-        return self._total_bytes
+        with self._lock:
+            return self._total_bytes
 
     def oldest_stamp(self):
         """Recency stamp of the LRU entry, or ``None`` when empty/unstamped."""
@@ -165,7 +167,7 @@ class LRUCache:
             self._evictions += 1
             return weight
 
-    def _drop_oldest_locked(self) -> int:
+    def _drop_oldest_locked(self) -> int:  # guarded-by: _lock
         key, _ = self._entries.popitem(last=False)
         weight = self._weights.pop(key, 0)
         self._stamps.pop(key, None)

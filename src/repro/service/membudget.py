@@ -18,7 +18,8 @@ eviction is visible in ``engine.stats()["memory_budget"]``).
 from __future__ import annotations
 
 import itertools
-import threading
+
+from repro.analysis.lockwatch import named_lock
 
 
 class MemoryBudget:
@@ -34,11 +35,11 @@ class MemoryBudget:
         if capacity_bytes < 1:
             raise ValueError("capacity_bytes must be positive")
         self.capacity_bytes = int(capacity_bytes)
-        self._caches: list = []
-        self._lock = threading.Lock()
+        self._lock = named_lock("MemoryBudget._lock")
+        self._caches: list = []  # guarded-by: _lock
         self._clock = itertools.count(1)
-        self._evictions = 0
-        self._bytes_evicted = 0
+        self._evictions = 0  # guarded-by: _lock
+        self._bytes_evicted = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------ wiring
 
@@ -54,7 +55,11 @@ class MemoryBudget:
     # ------------------------------------------------------------------ accounting
 
     def total_bytes(self) -> int:
-        return sum(cache.total_bytes for cache in list(self._caches))
+        with self._lock:
+            return self._total_bytes_locked()
+
+    def _total_bytes_locked(self) -> int:  # guarded-by: _lock
+        return sum(cache.total_bytes for cache in self._caches)
 
     def rebalance(self) -> int:
         """Evict globally-LRU entries until the total fits the cap.
@@ -64,7 +69,7 @@ class MemoryBudget:
         """
         evicted = 0
         with self._lock:
-            while self.total_bytes() > self.capacity_bytes:
+            while self._total_bytes_locked() > self.capacity_bytes:
                 victim = None
                 victim_stamp = None
                 for cache in self._caches:

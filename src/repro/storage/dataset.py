@@ -23,7 +23,6 @@ already (the common import case), codes pass through as the raw memory map.
 from __future__ import annotations
 
 import os
-import threading
 import uuid
 from contextlib import contextmanager
 from pathlib import Path
@@ -35,6 +34,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
+from repro.analysis.lockwatch import named_lock
 from repro.dataframe import MISSING_CODE, Column, LazyColumn, Pattern, Predicate, Table
 from repro.dataframe.column import sorted_code_remap
 from repro.dataframe.predicates import Op
@@ -103,7 +103,7 @@ class StoredDataset:
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
-        self._lock = threading.Lock()
+        self._lock = named_lock("StoredDataset._lock")
         self.manifest = load_manifest(self.directory)
 
     # ------------------------------------------------------------------ write path
@@ -130,7 +130,7 @@ class StoredDataset:
                                     if not c.numeric})
         dataset = cls.__new__(cls)
         dataset.directory = directory
-        dataset._lock = threading.Lock()
+        dataset._lock = named_lock("StoredDataset._lock")
         dataset.manifest = manifest
         rows_per_shard = shard_rows or table.n_rows
         start = 0
@@ -444,9 +444,11 @@ class _ShardHandle:
         self.path = path
         self.info = info
         self._decoders = decoders
-        self._arrays: dict[str, np.ndarray] | None = None
+        self._lock = named_lock("_ShardHandle._lock")
+        self._arrays: dict[str, np.ndarray] | None = None  # guarded-by: _lock
+        # _parsed_stats is racy on purpose: committed manifests are
+        # immutable, so concurrent first parses store identical values.
         self._parsed_stats: dict[str, object] = {}
-        self._lock = threading.Lock()
 
     @property
     def n_rows(self) -> int:
@@ -495,13 +497,13 @@ class ShardedTable(Table):
         self._handles = handles
         self._sorted_vocabs = sorted_vocabs
         self._prune = prune
-        self._stats_lock = threading.Lock()
-        self._scans = 0
-        self._shards_scanned = 0
-        self._shards_skipped = 0
-        self._zone_map_skipped = 0
-        self._stats_skipped = 0
-        self._rows_skipped = 0
+        self._stats_lock = named_lock("ShardedTable._stats_lock")
+        self._scans = 0  # guarded-by: _stats_lock
+        self._shards_scanned = 0  # guarded-by: _stats_lock
+        self._shards_skipped = 0  # guarded-by: _stats_lock
+        self._zone_map_skipped = 0  # guarded-by: _stats_lock
+        self._stats_skipped = 0  # guarded-by: _stats_lock
+        self._rows_skipped = 0  # guarded-by: _stats_lock
         columns = [self._lazy_column(attribute, handles)
                    for attribute in manifest.attributes]
         super().__init__(columns, name=manifest.name)

@@ -185,6 +185,50 @@ class TestConcurrency:
         # Every request either hit or missed; the counters never drift.
         assert mask_stats["hits"] + mask_stats["misses"] >= mask_stats["entries"]
 
+    def test_lockwatch_acquisition_graph_stays_acyclic(self, so_small):
+        """Exercise the engine's full lock surface (explains, appends, stats
+        snapshots) under an instrumented registry and assert the recorded
+        acquisition-order graph has no cycle — the machine-checked form of
+        the engine's three-lock discipline."""
+        from repro.analysis import lockwatch
+
+        registry = lockwatch.enable()
+        registry.reset()
+        try:
+            # Built while enabled, so every named_lock is a WatchedLock.
+            engine = ExplanationEngine(max_workers=2, summary_cache_size=8)
+            engine.register_bundle(so_small, config=small_config())
+            rows = so_small.table.take(range(10)).to_rows()
+            barrier = threading.Barrier(3)
+            errors = []
+
+            def run(action):
+                try:
+                    barrier.wait(timeout=30)
+                    action()
+                except Exception as exc:  # pragma: no cover - assertion below
+                    errors.append(exc)
+
+            actions = [
+                lambda: engine.explain("stackoverflow", BASE_QUERY),
+                lambda: engine.append_rows("stackoverflow", rows),
+                lambda: engine.stats(),
+            ]
+            threads = [threading.Thread(target=run, args=(a,)) for a in actions]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors
+            # The engine really nests acquisitions (e.g. mutation -> datasets
+            # in append_rows), so the graph must be non-trivial — and acyclic.
+            assert registry.edges()
+            assert registry.violations == []
+            registry.assert_acyclic()
+        finally:
+            registry.reset()
+            lockwatch.disable()
+
 
 class TestAppendRows:
     def test_append_invalidates_and_matches_fresh_run(self, engine, so_small):
