@@ -348,9 +348,11 @@ def _cmd_store(args: argparse.Namespace) -> int:
             return 2
         clustered = f"  clustered by {result['cluster_by']}" \
             if result["cluster_by"] else ""
+        partials = f"  partial_groups={result['partial_groups']}" \
+            if result.get("partial_groups") else ""
         print(f"compacted {args.name!r}: shards "
               f"{result['shards_before']} -> {result['shards_after']} "
-              f"({result['rewritten']} rewritten){clustered}  "
+              f"({result['rewritten']} rewritten){clustered}{partials}  "
               f"version={result['version']}")
         return 0
     # import

@@ -206,6 +206,13 @@ class CauSumX:
         are mined concurrently by a thread pool sharing one estimator (and
         therefore one mask cache).  The output order follows ``groupings``
         regardless of the number of workers.
+
+        Each grouping's data scan may itself fan shards out over the
+        process-wide morsel pool (:mod:`repro.parallel`): that pool is a
+        single shared executor of at most ``REPRO_WORKERS`` threads, and a
+        morsel worker never re-submits to it (``map_morsels`` runs serially
+        from worker threads), so total thread count stays bounded by
+        ``n_jobs + REPRO_WORKERS`` — there is no pool-in-pool explosion.
         """
         def mine(grouping: GroupingPattern):
             return self._treatments_for(estimator, grouping, treatment_attrs)

@@ -1,0 +1,25 @@
+"""Shard-parallel morsel-driven execution (see :mod:`repro.parallel.pool`)."""
+
+from repro.parallel.pool import (
+    ENV_VAR,
+    GLOBAL_PARALLEL_STATS,
+    ParallelStats,
+    default_workers,
+    in_worker,
+    map_morsels,
+    set_workers,
+    worker_count,
+    workers,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "GLOBAL_PARALLEL_STATS",
+    "ParallelStats",
+    "default_workers",
+    "in_worker",
+    "map_morsels",
+    "set_workers",
+    "worker_count",
+    "workers",
+]

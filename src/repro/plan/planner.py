@@ -152,6 +152,8 @@ class PlannerStats:
     shards_stats_skipped: int = 0  # guarded-by: _lock
     shards_scanned: int = 0  # guarded-by: _lock
     atoms_deferred: int = 0  # guarded-by: _lock
+    store_code_lookups: int = 0  # guarded-by: _lock
+    store_code_cached: int = 0  # guarded-by: _lock
     _lock: threading.Lock = field(
         default_factory=lambda: named_lock("PlannerStats._lock"), repr=False)
 
@@ -173,6 +175,12 @@ class PlannerStats:
         with self._lock:
             self.atoms_deferred += count
 
+    def record_store_codes(self, lookups: int, cached: int) -> None:
+        """Equality-literal store-code resolutions: total vs. memo-served."""
+        with self._lock:
+            self.store_code_lookups += lookups
+            self.store_code_cached += cached
+
     def snapshot(self) -> dict:
         with self._lock:
             return {
@@ -183,6 +191,8 @@ class PlannerStats:
                 "shards_stats_skipped": self.shards_stats_skipped,
                 "shards_scanned": self.shards_scanned,
                 "atoms_deferred": self.atoms_deferred,
+                "store_code_lookups": self.store_code_lookups,
+                "store_code_cached": self.store_code_cached,
             }
 
     def reset(self) -> None:
@@ -190,6 +200,7 @@ class PlannerStats:
             self.plans = self.conjuncts_planned = self.plans_reordered = 0
             self.shards_zone_map_skipped = self.shards_stats_skipped = 0
             self.shards_scanned = self.atoms_deferred = 0
+            self.store_code_lookups = self.store_code_cached = 0
 
 
 #: One process-wide collector — engines report it under ``stats()["planner"]``.

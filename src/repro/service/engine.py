@@ -61,6 +61,7 @@ from repro.causal import CATEEstimator
 from repro.core import CauSumX, CauSumXConfig, ExplanationSummary
 from repro.dataframe import MaskCache, Pattern, Table
 from repro.graph import CausalDAG
+from repro.parallel import GLOBAL_PARALLEL_STATS, worker_count
 from repro.plan import GLOBAL_PLANNER_STATS, lower_query, planner_enabled
 from repro.service.lru import LRUCache
 from repro.sql import (
@@ -589,6 +590,11 @@ class ExplanationEngine:
         result = {
             "datasets": datasets,
             "planner": planner,
+            # Morsel-pool accounting: configured width, batches executed
+            # (serial vs. fanned out), morsels run, and group-bys answered
+            # from committed manifest partials.
+            "parallel": {"workers": worker_count(),
+                         **GLOBAL_PARALLEL_STATS.snapshot()},
             "plan_cache": level(self._plan_cache),
             "view_cache": level(self._view_cache),
             "population_cache": level(self._population_cache),

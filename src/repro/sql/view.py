@@ -59,19 +59,51 @@ class AggregateView:
         else:
             self.table, self.scan_plan = planned_select_with_plan(
                 table, query.where, mask_cache=mask_cache)
-        # One factorized group index backs membership lists, the averages, and
-        # the covered-groups test — the rows are never rescanned per group.
-        self._index = self.table.group_index(list(query.group_by))
-        self._group_rows = self._index.indices_by_key()
-        outcome_column = self.table.column(query.average)
-        outcome = outcome_column.values.astype(np.float64) \
-            if outcome_column.numeric else outcome_column.as_float()
-        averages, _ = self._index.averages(outcome)
-        self.groups: list[GroupResult] = [
-            GroupResult(key=self._index.keys[g], average=float(averages[g]),
-                        size=int(self._index.sizes[g]))
-            for g in self._index.sorted_by_repr()
-        ]
+        # The factorized group index backs membership lists and the
+        # covered-groups test; it is built lazily because the answer tuples
+        # themselves may come from **group-by partials** instead: a no-WHERE
+        # view over a sharded base merges per-shard (size, valid count,
+        # outcome sum) triples — committed manifest partials when a
+        # clustered compaction wrote them (zero rows touched), otherwise
+        # computed shard by shard on the morsel pool.  The partial-sum
+        # formula is the only formula on that path at *every* worker count,
+        # so results never depend on pool width.
+        self._lazy_index = None
+        self._lazy_group_rows = None
+        #: True when the answer tuples were merged from per-shard partials
+        #: (committed or runtime) instead of a whole-table group scan.
+        self.served_from_partials = False
+        groups: list[GroupResult] | None = None
+        if query.where.is_empty():
+            partial_source = getattr(self.table, "shard_groupby_partials",
+                                     None)
+            if partial_source is not None:
+                partials = partial_source(tuple(query.group_by),
+                                          query.average)
+                if partials is not None:
+                    # Stable repr-sort over first-occurrence order — exactly
+                    # GroupByIndex.sorted_by_repr's ordering.
+                    groups = [
+                        GroupResult(key=key,
+                                    average=total / valid if valid
+                                    else float("nan"),
+                                    size=size)
+                        for key, size, valid, total in
+                        sorted(partials, key=lambda entry: repr(entry[0]))
+                    ]
+                    self.served_from_partials = True
+        if groups is None:
+            index = self._index
+            outcome_column = self.table.column(query.average)
+            outcome = outcome_column.values.astype(np.float64) \
+                if outcome_column.numeric else outcome_column.as_float()
+            averages, _ = index.averages(outcome)
+            groups = [
+                GroupResult(key=index.keys[g], average=float(averages[g]),
+                            size=int(index.sizes[g]))
+                for g in index.sorted_by_repr()
+            ]
+        self.groups: list[GroupResult] = groups
         self._group_index = {g.key: i for i, g in enumerate(self.groups)}
 
     # ------------------------------------------------------------------ accessors
@@ -88,12 +120,33 @@ class AggregateView:
         return len(self.groups)
 
     @property
+    def _index(self):
+        """The group index, built on first touch.
+
+        Benign race under concurrent first touches: both threads build
+        identical indexes over the same immutable table and the last
+        assignment wins.
+        """
+        if self._lazy_index is None:
+            self._lazy_index = self.table.group_index(
+                list(self.query.group_by))
+        return self._lazy_index
+
+    @property
+    def _group_rows(self):
+        if self._lazy_group_rows is None:
+            self._lazy_group_rows = self._index.indices_by_key()
+        return self._lazy_group_rows
+
+    @property
     def index(self):
         """The factorized :class:`~repro.dataframe.GroupByIndex` behind the view.
 
         Exposed so downstream layers (e.g. the optimizer's group-weighted
         coverage scoring) can reuse the dense group ids and sizes instead of
-        rebuilding them from the answer tuples.
+        rebuilding them from the answer tuples.  Touching it on a
+        partials-served view triggers the full group scan the partials
+        avoided.
         """
         return self._index
 
@@ -101,9 +154,13 @@ class AggregateView:
         return [g.key for g in self.groups]
 
     def group_weights(self) -> dict[tuple, float]:
-        """Per-group tuple counts (``{group key: size}``), from the index."""
-        return {key: float(size)
-                for key, size in zip(self._index.keys, self._index.sizes)}
+        """Per-group tuple counts (``{group key: size}``).
+
+        Reads the answer tuples rather than the index so a partials-served
+        view keeps its zero-rows-touched property (consumers treat this as
+        a mapping; they bring their own group order).
+        """
+        return {g.key: float(g.size) for g in self.groups}
 
     def group(self, key: tuple) -> GroupResult:
         return self.groups[self._group_index[key]]

@@ -38,8 +38,9 @@ from repro.analysis.lockwatch import named_lock
 from repro.dataframe import MISSING_CODE, Column, LazyColumn, Pattern, Predicate, Table
 from repro.dataframe.column import sorted_code_remap
 from repro.dataframe.predicates import Op
+from repro.parallel import GLOBAL_PARALLEL_STATS, map_morsels, worker_count
 from repro.plan.config import planner_enabled
-from repro.plan.execute import scan_indices
+from repro.plan.execute import merge_shard_counts, scan_indices, shard_scan_indices
 from repro.plan.planner import GLOBAL_PLANNER_STATS, plan_scan
 from repro.plan.stats import (
     DEFAULT_TOP_K,
@@ -137,7 +138,7 @@ class StoredDataset:
         while start < table.n_rows:
             stop = min(start + rows_per_shard, table.n_rows)
             batch = table.take(np.arange(start, stop))
-            manifest.shards.append(dataset._write_shard(batch))
+            manifest.shards.append(dataset._write_shard(manifest, batch))
             start = stop
         commit_manifest(directory, manifest)
         sweep_temp_files(directory)
@@ -166,12 +167,19 @@ class StoredDataset:
                     f"append expected version {expected_version}, "
                     f"store is at {manifest.version}")
             self._validate_batch(manifest, batch)
-            self.manifest = manifest
-            shard = self._write_shard(batch)
-            manifest.shards.append(shard)
-            manifest.version += 1
-            commit_manifest(self.directory, manifest)
+            shard = self._write_shard(manifest, batch)
+            # Commit on a fresh Manifest object: live readers snapshot
+            # ``self.manifest`` outside the writer lock, so the object a
+            # reader holds must never mutate — it is published only after
+            # (and exactly as) it was committed.
+            committed = Manifest(
+                name=manifest.name, schema=manifest.schema,
+                vocabs=manifest.vocabs,
+                shards=[*manifest.shards, shard],
+                version=manifest.version + 1)
+            commit_manifest(self.directory, committed)
             sweep_temp_files(self.directory)
+            self.manifest = committed
             return shard
 
     def _validate_batch(self, manifest: Manifest, batch: Table) -> None:
@@ -190,8 +198,9 @@ class StoredDataset:
                     f"store holds a "
                     f"{'numeric' if stored_numeric else 'categorical'} column")
 
-    def _write_shard(self, batch: Table,
-                     shard_seq: int | None = None) -> ShardInfo:
+    def _write_shard(self, manifest: Manifest, batch: Table,
+                     shard_seq: int | None = None,
+                     partials_by: str | None = None) -> ShardInfo:
         """Encode, write, fingerprint, and rename one shard (no commit).
 
         Besides the zone maps, every column's **statistics** are collected
@@ -199,8 +208,14 @@ class StoredDataset:
         frequencies in store-code space — and travel in the manifest, so
         selectivity estimates refresh with every committed shard and are
         never derived by re-scanning committed data.
+
+        ``partials_by`` (a categorical attribute; set by cluster-by
+        compaction) additionally records the shard's **group-by partials**:
+        per group key, the row count plus every numeric column's valid
+        count and outcome sum — exactly the per-shard quantities the
+        runtime partial aggregation computes, so a clustered no-WHERE
+        group-by can later answer from the manifest without touching rows.
         """
-        manifest = self.manifest
         arrays: dict[str, np.ndarray] = {}
         zone_maps: dict[str, dict] = {}
         column_stats: dict[str, dict] = {}
@@ -228,9 +243,12 @@ class StoredDataset:
         write_shard(tmp, arrays)
         fingerprint = fingerprint_file(tmp)
         os.replace(tmp, final)
+        group_partials = _group_partials(manifest, batch, partials_by) \
+            if partials_by is not None else None
         return ShardInfo(shard_id=shard_id, file=relative, n_rows=batch.n_rows,
                          fingerprint=fingerprint, zone_maps=zone_maps,
-                         column_stats=column_stats)
+                         column_stats=column_stats,
+                         group_partials=group_partials)
 
     # ------------------------------------------------------------------ maintenance
 
@@ -254,12 +272,19 @@ class StoredDataset:
           is stably sorted by the attribute (missing values last) and
           rewritten into shards of ``shard_rows`` rows (default: the
           largest current shard), which is what makes zone maps selective
-          for predicates over that attribute.
+          for predicates over that attribute.  A *categorical* cluster key
+          additionally commits per-shard **group-by partials** (group row
+          counts plus valid count and sum of every numeric column) into the
+          manifest, so subsequent no-WHERE group-bys over the key answer
+          from the partials without reading any shard row.  Numeric cluster
+          keys skip the partials: their ``NaN`` rows group as per-row
+          singletons, which no mergeable manifest artifact can represent.
 
         Every rewritten shard gets fresh zone maps, column statistics, and
-        content fingerprints.  ``version`` advances by one; live readers
-        holding the previous table should ``reload()`` before touching
-        columns they have not yet materialised.
+        content fingerprints.  ``version`` advances by one.  Live readers
+        are unaffected: a loaded table pins every shard's descriptor (the
+        unlinked inodes stay readable), and an in-flight ``load_table``
+        that loses the race retries on the fresh manifest.
         """
         with self._lock, _append_lock(self.directory):
             manifest = load_manifest(self.directory)
@@ -273,7 +298,8 @@ class StoredDataset:
             if before == 0:
                 return {"name": manifest.name, "version": manifest.version,
                         "shards_before": 0, "shards_after": 0,
-                        "rewritten": 0, "cluster_by": cluster_by}
+                        "rewritten": 0, "cluster_by": cluster_by,
+                        "partial_groups": 0}
             if shard_rows is not None and shard_rows < 1:
                 raise StorageError(
                     f"shard_rows must be positive, got {shard_rows}")
@@ -288,6 +314,8 @@ class StoredDataset:
             seq = _next_shard_seq(manifest)
             new_shards: list[ShardInfo] = []
             replaced: list[ShardInfo] = []
+            partials_by = cluster_by if cluster_by is not None and \
+                manifest.kind(cluster_by) == CATEGORICAL else None
 
             def rewrite(batch: Table) -> None:
                 nonlocal seq
@@ -295,7 +323,9 @@ class StoredDataset:
                 while start < batch.n_rows:
                     stop = min(start + target, batch.n_rows)
                     part = batch.take(np.arange(start, stop))
-                    new_shards.append(self._write_shard(part, shard_seq=seq))
+                    new_shards.append(self._write_shard(
+                        manifest, part, shard_seq=seq,
+                        partials_by=partials_by))
                     seq += 1
                     start = stop
 
@@ -336,11 +366,20 @@ class StoredDataset:
             if not replaced:  # nothing to rewrite: no version churn
                 return {"name": manifest.name, "version": manifest.version,
                         "shards_before": before, "shards_after": before,
-                        "rewritten": 0, "cluster_by": cluster_by}
-            manifest.shards = new_shards
-            manifest.version += 1
-            commit_manifest(self.directory, manifest)
+                        "rewritten": 0, "cluster_by": cluster_by,
+                        "partial_groups": 0}
+            # Commit on a fresh Manifest object — live readers snapshot
+            # ``self.manifest`` outside the writer lock, so the object a
+            # reader holds must never mutate underneath it (its version is
+            # also what the reader's lost-race retry in ``load_table``
+            # compares against).
+            committed = Manifest(
+                name=manifest.name, schema=manifest.schema,
+                vocabs=manifest.vocabs, shards=new_shards,
+                version=manifest.version + 1)
+            commit_manifest(self.directory, committed)
             sweep_temp_files(self.directory)
+            self.manifest = committed
             kept = {s.file for s in new_shards}
             for shard in replaced:
                 if shard.file in kept:  # pragma: no cover - defensive
@@ -349,9 +388,12 @@ class StoredDataset:
                     (self.directory / shard.file).unlink()
                 except OSError:  # pragma: no cover - best-effort cleanup
                     pass
-            return {"name": manifest.name, "version": manifest.version,
+            return {"name": committed.name, "version": committed.version,
                     "shards_before": before, "shards_after": len(new_shards),
-                    "rewritten": len(replaced), "cluster_by": cluster_by}
+                    "rewritten": len(replaced), "cluster_by": cluster_by,
+                    "partial_groups": sum(
+                        len(s.group_partials["keys"]) for s in new_shards
+                        if s.group_partials is not None)}
 
     def _decode_shards(self, manifest: Manifest,
                        shards: list[ShardInfo]) -> Table:
@@ -393,8 +435,29 @@ class StoredDataset:
             return self.manifest
 
     def load_table(self, prune: bool = True) -> "ShardedTable":
-        """The dataset as a lazily-loaded, zone-map-pruned table."""
-        manifest = self.manifest
+        """The dataset as a lazily-loaded, zone-map-pruned table.
+
+        Every shard's descriptor is opened here, eagerly, and handed to its
+        lazy handle: an open descriptor pins the inode, so a compaction
+        that commits a new manifest and unlinks our files *after* this
+        returns cannot break the table's lazy first-touch loads.  If the
+        compaction wins the race *before* we open (a referenced file is
+        already gone), the committed manifest has necessarily moved on —
+        reload it and retry; a missing file on an unchanged version is real
+        corruption and raises.
+        """
+        while True:
+            manifest = self.manifest
+            try:
+                return self._load_table_at(manifest, prune)
+            except FileNotFoundError as exc:
+                if self.reload().version == manifest.version:
+                    raise StorageError(
+                        f"manifest references missing shard in "
+                        f"{self.directory}: {exc}") from exc
+
+    def _load_table_at(self, manifest: Manifest,
+                       prune: bool) -> "ShardedTable":
         decoders: dict[str, np.ndarray | None] = {}
         sorted_vocabs: dict[str, tuple] = {}
         for attribute in manifest.attributes:
@@ -409,10 +472,8 @@ class StoredDataset:
             path = self.directory / shard.file
             if is_temp_file(path.name):  # never committed; defensive
                 continue
-            if not path.exists():
-                raise StorageError(f"manifest references missing shard "
-                                   f"{shard.file} in {self.directory}")
-            handles.append(_ShardHandle(path, shard, decoders))
+            handles.append(_ShardHandle(path, shard, decoders,
+                                        file=path.open("rb")))
         return ShardedTable(manifest, handles, sorted_vocabs, prune=prune)
 
     def verify(self) -> None:
@@ -440,10 +501,15 @@ class _ShardHandle:
     """Lazily opened, memory-mapped view of one committed shard."""
 
     def __init__(self, path: Path, info: ShardInfo,
-                 decoders: dict[str, np.ndarray | None]):
+                 decoders: dict[str, np.ndarray | None],
+                 file=None):
         self.path = path
         self.info = info
         self._decoders = decoders
+        # An already-open descriptor pins the inode, so a concurrent
+        # compaction unlinking the path cannot break a later lazy open
+        # (None: open by path at first touch; writer-side use only).
+        self._file = file
         self._lock = named_lock("_ShardHandle._lock")
         self._arrays: dict[str, np.ndarray] | None = None  # guarded-by: _lock
         # _parsed_stats is racy on purpose: committed manifests are
@@ -457,8 +523,14 @@ class _ShardHandle:
     def arrays(self) -> dict[str, np.ndarray]:
         with self._lock:
             if self._arrays is None:
-                self._arrays = open_shard(self.path)
+                self._arrays = open_shard(
+                    self.path if self._file is None else self._file)
             return self._arrays
+
+    def is_open(self) -> bool:
+        """Whether the shard archive has been opened (any row data touched)."""
+        with self._lock:
+            return self._arrays is not None
 
     def decoded(self, attribute: str) -> np.ndarray:
         """The column's rows in in-memory encoding (sorted-vocab codes/floats)."""
@@ -504,6 +576,7 @@ class ShardedTable(Table):
         self._zone_map_skipped = 0  # guarded-by: _stats_lock
         self._stats_skipped = 0  # guarded-by: _stats_lock
         self._rows_skipped = 0  # guarded-by: _stats_lock
+        self._partials_served = 0  # guarded-by: _stats_lock
         columns = [self._lazy_column(attribute, handles)
                    for attribute in manifest.attributes]
         super().__init__(columns, name=manifest.name)
@@ -522,11 +595,14 @@ class ShardedTable(Table):
         length = sum(h.n_rows for h in handles)
 
         def loader() -> np.ndarray:
-            parts = [handle.decoded(attribute) for handle in handles]
-            if len(parts) == 1:
-                return parts[0]  # single shard: the memory map itself
-            if not parts:
+            if not handles:
                 return np.empty(0, dtype=np.float64 if numeric else np.int32)
+            if len(handles) == 1:
+                return handles[0].decoded(attribute)  # the memory map itself
+            # Shards decode on the morsel pool (mmap page-in and the
+            # store→sorted code remap release the GIL); concatenation in
+            # handle order makes the result byte-identical to serial.
+            parts = map_morsels(lambda h: h.decoded(attribute), handles)
             return np.concatenate(parts)
 
         return LazyColumn(attribute, numeric, length, loader,
@@ -542,28 +618,57 @@ class ShardedTable(Table):
             return self.plan_shard_select(condition)[0]
         # Oracle path: zone-map-only pruning, left-to-right full masks.
         if not self._prune or len(self._handles) <= 1:
-            return super().select(condition)
+            return self._filter_shards(self._handles, condition)
         vocabs = self._manifest.vocabs
-        survivors = [h for h in self._handles
-                     if pattern_may_match(h.info.zone_maps, condition, vocabs)]
+        # One pass decides survival and tallies skipped rows directly — no
+        # post-hoc `h not in survivors` membership scan (quadratic in the
+        # shard count).
+        survivors = []
+        rows_skipped = 0
+        for handle in self._handles:
+            if pattern_may_match(handle.info.zone_maps, condition, vocabs):
+                survivors.append(handle)
+            else:
+                rows_skipped += handle.n_rows
         with self._stats_lock:
             self._scans += 1
             self._shards_scanned += len(self._handles)
             self._shards_skipped += len(self._handles) - len(survivors)
-            self._rows_skipped += sum(h.n_rows for h in self._handles
-                                      if h not in survivors)
-        if len(survivors) == len(self._handles):
-            return super().select(condition)
-        return self._subset(survivors).select(condition)
+            self._rows_skipped += rows_skipped
+        return self._filter_shards(survivors, condition)
 
-    def plan_shard_select(self, condition):
+    def _filter_shards(self, handles: list[_ShardHandle], condition) -> Table:
+        """Full-mask (oracle) filter over ``handles``, morsel-parallel.
+
+        With one worker — or at most one shard — this is exactly the serial
+        path: full left-to-right masks over the concatenated lazy columns.
+        With more, every shard evaluates the same masks over its own rows
+        concurrently and the per-shard selections concatenate in shard
+        order; predicates are row-local, so the result is byte-identical.
+        """
+        if worker_count() <= 1 or len(handles) <= 1:
+            if len(handles) == len(self._handles):
+                return super().select(condition)
+            return self._subset(handles).select(condition)
+        shard_tables = [self._subset([handle]) for handle in handles]
+        parts = map_morsels(lambda shard: shard.select(condition),
+                            shard_tables)
+        return self._merge_parts(parts)
+
+    def plan_shard_select(self, condition, mask_cache=None):
         """Selectivity-aware scan: ``(filtered table, executed ScanPlan)``.
 
         Three-way decision per shard — zone-map skip, statistics-based skip
         (covers manifests whose zone maps are absent), or scan — followed by
         conjuncts ordered most-selective-cheapest-first with short-circuit
-        AND over the surviving shards.  Both skip layers are conservative
-        proofs, so the result equals the unplanned scan row for row.
+        AND over the surviving shards, morsel-parallel when more than one
+        shard survives and the pool is wider than one worker.  Both skip
+        layers are conservative proofs, so the result equals the unplanned
+        scan row for row.
+
+        ``mask_cache`` (the engine's per-version :class:`MaskCache`) serves
+        purely as a **store-code memo** here: repeated hot equality literals
+        skip the append-ordered store-vocabulary lookup entirely.
         """
         predicates = [condition] if isinstance(condition, Predicate) else \
             list(condition.predicates)
@@ -572,11 +677,22 @@ class ShardedTable(Table):
         # Resolve each equality literal's store code once, not once per
         # shard — the lookup scans the append-ordered store vocabulary.
         resolved: list[tuple[Predicate, object]] = []
+        lookups = cached = 0
         for p in predicates:
             code = UNRESOLVED
             if p.op in (Op.EQ, Op.NE) and p.attribute in vocabs:
-                code = resolve_store_code(p.value, vocabs[p.attribute])
+                lookups += 1
+                if mask_cache is not None:
+                    code, hit = mask_cache.resolved_store_code(
+                        p.attribute, p.value,
+                        lambda p=p: resolve_store_code(p.value,
+                                                       vocabs[p.attribute]))
+                    cached += hit
+                else:
+                    code = resolve_store_code(p.value, vocabs[p.attribute])
             resolved.append((p, code))
+        if lookups:
+            GLOBAL_PLANNER_STATS.record_store_codes(lookups, cached)
         survivors = []
         zone_skipped = stats_skipped = rows_skipped = 0
         prune = self._prune and len(self._handles) > 1
@@ -607,10 +723,133 @@ class ShardedTable(Table):
                 self._rows_skipped += rows_skipped
             GLOBAL_PLANNER_STATS.record_shards(zone_skipped, stats_skipped,
                                                len(survivors))
-        subset = self if len(survivors) == len(self._handles) else \
-            self._subset(survivors)
-        indices = scan_indices(subset, plan)
-        return subset.take(indices), plan
+        if worker_count() <= 1 or len(survivors) <= 1:
+            subset = self if len(survivors) == len(self._handles) else \
+                self._subset(survivors)
+            indices = scan_indices(subset, plan)
+            return subset.take(indices), plan
+        # Morsel-parallel execution: each surviving shard runs the same
+        # ordered short-circuit AND over its own rows; counts sum and rows
+        # concatenate in shard order, byte-identical to the serial scan.
+        shard_tables = [self._subset([handle]) for handle in survivors]
+        ordered = plan.ordered_predicates
+
+        def scan(shard: Table) -> tuple[Table, list]:
+            indices, counts = shard_scan_indices(shard, ordered)
+            return shard.take(indices), counts
+
+        results = map_morsels(scan, shard_tables)
+        merge_shard_counts(plan, sum(h.n_rows for h in survivors),
+                           [counts for _, counts in results])
+        return self._merge_parts([part for part, _ in results]), plan
+
+    def _merge_parts(self, parts: list[Table]) -> Table:
+        """Concatenate per-shard filter results in shard order.
+
+        Every part was produced against this table's sorted vocabularies,
+        so categorical codes concatenate without remapping; the merged
+        table equals the serial whole-table result column for column.
+        """
+        columns = []
+        for attribute in self._manifest.attributes:
+            pieces = [part.column(attribute) for part in parts]
+            if self._manifest.kind(attribute) == NUMERIC:
+                merged = np.concatenate([p.values for p in pieces])
+                columns.append(Column._from_numeric_data(
+                    attribute, np.asarray(merged, dtype=np.float64)))
+            else:
+                merged = np.concatenate([p.codes for p in pieces])
+                columns.append(Column.from_codes(
+                    attribute, np.asarray(merged, dtype=np.int32),
+                    self._sorted_vocabs[attribute]))
+        return Table(columns, name=self.name)
+
+    def shard_predicate_mask(self, predicate: Predicate) -> np.ndarray:
+        """Full boolean mask of one predicate, evaluated shard by shard.
+
+        Sorted-vocab codes are shard-subset-invariant, so per-shard masks
+        concatenated in shard order equal the whole-table kernel bit for
+        bit; with one worker — or at most one shard — the whole-table
+        kernel runs directly, exactly as before.
+        """
+        if worker_count() <= 1 or len(self._handles) <= 1:
+            return predicate.evaluate(self)
+        shard_tables = [self._subset([handle]) for handle in self._handles]
+        parts = map_morsels(lambda shard: predicate.evaluate(shard),
+                            shard_tables)
+        return np.concatenate(parts)
+
+    # ------------------------------------------------------------------ partials
+
+    def shard_groupby_partials(self, group_by, outcome: str):
+        """Per-group ``(key, size, valid, total)`` partials in global
+        first-occurrence order, or ``None`` when they do not apply.
+
+        Applies when every grouping attribute is stored categorical and the
+        outcome is stored numeric (numeric group keys form per-row ``NaN``
+        singletons no mergeable partial can represent).  Two sources, in
+        preference order:
+
+        * **committed partials** — every shard of a single-attribute
+          group-by carries manifest partials for the key (written by
+          ``compact --cluster-by``): the answer merges pure manifest
+          arithmetic and touches **zero** shard rows;
+        * **runtime partials** — each shard computes its own group sizes,
+          valid counts, and outcome sums on the morsel pool.
+
+        Both sources compute the identical per-shard quantities and merge
+        in shard order, so the result is the same wherever it comes from —
+        and at every worker count.
+        """
+        manifest = self._manifest
+        if not group_by or outcome not in manifest.attributes or \
+                manifest.kind(outcome) != NUMERIC:
+            return None
+        if any(a not in manifest.attributes or
+               manifest.kind(a) != CATEGORICAL for a in group_by):
+            return None
+        if not self._handles:
+            return []
+        merged = self._manifest_partials(group_by, outcome)
+        if merged is not None:
+            with self._stats_lock:
+                self._partials_served += 1
+            GLOBAL_PARALLEL_STATS.record_partials_served()
+            return merged
+        attributes = list(group_by)
+        shard_tables = [self._subset([handle]) for handle in self._handles]
+
+        def shard_partials(shard: Table) -> list:
+            index = shard.group_index(attributes)
+            values = shard.column(outcome).values
+            entries = []
+            for key, rows in zip(index.keys, index.group_indices()):
+                grouped = values[rows]
+                valid = grouped[~np.isnan(grouped)]
+                entries.append((key, int(rows.size), int(valid.size),
+                                float(valid.sum()) if valid.size else 0.0))
+            return entries
+
+        return _merge_partials(map_morsels(shard_partials, shard_tables))
+
+    def _manifest_partials(self, group_by, outcome: str):
+        """Merged committed partials, or ``None`` when any shard lacks them."""
+        if len(group_by) != 1:
+            return None
+        by = group_by[0]
+        per_shard = []
+        for handle in self._handles:
+            partials = handle.info.group_partials
+            if partials is None or partials.get("by") != by or \
+                    outcome not in partials["outcomes"]:
+                return None
+            entry = partials["outcomes"][outcome]
+            per_shard.append(
+                [((key,), int(size), int(valid), float(total))
+                 for key, size, valid, total in zip(
+                     partials["keys"], partials["sizes"],
+                     entry["valid"], entry["sum"])])
+        return _merge_partials(per_shard)
 
     def plan_column_stats(self, attribute: str):
         """Merged manifest statistics of one column (sorted-code space).
@@ -656,14 +895,78 @@ class ShardedTable(Table):
         ``shards_skipped`` is the total; ``zone_map_skipped`` /
         ``stats_skipped`` attribute planned skips to the mechanism that
         proved them (zone maps win ties — they are consulted first).
+        ``partials_served`` counts group-bys answered from committed
+        manifest partials; ``shards_open`` says how many shard archives
+        have actually been opened — together they prove (or disprove) the
+        zero-rows-touched fast path.
         """
+        shards_open = sum(1 for handle in self._handles if handle.is_open())
         with self._stats_lock:
             return {"scans": self._scans,
                     "shards_scanned": self._shards_scanned,
                     "shards_skipped": self._shards_skipped,
                     "zone_map_skipped": self._zone_map_skipped,
                     "stats_skipped": self._stats_skipped,
-                    "rows_skipped": self._rows_skipped}
+                    "rows_skipped": self._rows_skipped,
+                    "partials_served": self._partials_served,
+                    "shards_open": shards_open}
+
+
+# ---------------------------------------------------------------------- partials
+
+
+def _group_partials(manifest: Manifest, batch: Table,
+                    partials_by: str) -> dict:
+    """One shard's committed group-by partials (JSON-ready).
+
+    For every group of the (categorical) cluster key, in the shard's
+    first-occurrence order: the row count plus each numeric column's valid
+    count and outcome sum — exactly the per-shard quantities
+    :meth:`ShardedTable.shard_groupby_partials` computes at runtime, so a
+    manifest-served answer is indistinguishable from a computed one.
+    """
+    index = batch.group_index([partials_by])
+    group_rows = index.group_indices()
+    keys = [key[0] for key in index.keys]
+    sizes = [int(rows.size) for rows in group_rows]
+    outcomes: dict[str, dict] = {}
+    for attribute in manifest.attributes:
+        if manifest.kind(attribute) != NUMERIC:
+            continue
+        values = np.asarray(batch.column(attribute).values, dtype=np.float64)
+        valid_counts = []
+        sums = []
+        for rows in group_rows:
+            grouped = values[rows]
+            valid = grouped[~np.isnan(grouped)]
+            valid_counts.append(int(valid.size))
+            sums.append(float(valid.sum()) if valid.size else 0.0)
+        outcomes[attribute] = {"valid": valid_counts, "sum": sums}
+    return {"by": partials_by, "keys": keys, "sizes": sizes,
+            "outcomes": outcomes}
+
+
+def _merge_partials(per_shard: list[list]) -> list:
+    """Fold per-shard ``(key, size, valid, total)`` entries in shard order.
+
+    Appending keys as they are first seen reproduces the first-occurrence
+    group order of one whole-table ``GroupByIndex``; sizes, valid counts,
+    and sums are additive (each row lives in exactly one shard).
+    """
+    order: dict = {}
+    merged: list[list] = []
+    for entries in per_shard:
+        for key, size, valid, total in entries:
+            slot = order.get(key)
+            if slot is None:
+                order[key] = len(merged)
+                merged.append([key, size, valid, total])
+            else:
+                row = merged[slot]
+                row[1] += size
+                row[2] += valid
+                row[3] += total
+    return [tuple(row) for row in merged]
 
 
 # ---------------------------------------------------------------------- naming

@@ -124,18 +124,29 @@ class ShardInfo:
     #: manifests written before the planner landed (``{}`` — the planner
     #: then estimates conservatively).
     column_stats: dict = field(default_factory=dict)
+    #: Committed group-by partials keyed by the shard's cluster attribute —
+    #: ``{"by": attr, "keys": [...], "sizes": [...], "outcomes": {numeric
+    #: attr: {"valid": [...], "sum": [...]}}}`` in the shard's
+    #: first-occurrence group order.  Written only by ``compact
+    #: --cluster-by`` over a categorical key; ``None`` everywhere else
+    #: (and omitted from the serialized manifest).
+    group_partials: dict | None = None
 
     def to_dict(self) -> dict:
-        return {"id": self.shard_id, "file": self.file, "n_rows": self.n_rows,
+        spec = {"id": self.shard_id, "file": self.file, "n_rows": self.n_rows,
                 "fingerprint": self.fingerprint, "zone_maps": self.zone_maps,
                 "column_stats": self.column_stats}
+        if self.group_partials is not None:
+            spec["group_partials"] = self.group_partials
+        return spec
 
     @classmethod
     def from_dict(cls, spec: dict) -> "ShardInfo":
         return cls(shard_id=spec["id"], file=spec["file"],
                    n_rows=int(spec["n_rows"]), fingerprint=spec["fingerprint"],
                    zone_maps=dict(spec.get("zone_maps", {})),
-                   column_stats=dict(spec.get("column_stats", {})))
+                   column_stats=dict(spec.get("column_stats", {})),
+                   group_partials=spec.get("group_partials"))
 
 
 @dataclass
