@@ -272,10 +272,14 @@ class WatchedLock:
     """A ``threading.Lock`` recording acquisition order into a registry.
 
     API-compatible with ``threading.Lock`` for the operations the codebase
-    uses (``acquire``/``release``/context manager/``locked``).
+    uses (``acquire``/``release``/context manager/``locked``).  It also
+    implements ``_is_owned`` so ``threading.Condition`` can wrap a watched
+    lock: without it, the Condition's ownership probe (a non-blocking
+    ``acquire`` while the lock is held) would register as a same-name
+    re-acquisition — a false self-cycle in the ordering graph.
     """
 
-    __slots__ = ("name", "_inner", "_registry", "_strict")
+    __slots__ = ("name", "_inner", "_registry", "_strict", "_owner")
 
     def __init__(self, name: str, registry: LockWatchRegistry | None = None,
                  strict: bool | None = None):
@@ -283,20 +287,27 @@ class WatchedLock:
         self._inner = threading.Lock()
         self._registry = registry if registry is not None else _REGISTRY
         self._strict = is_strict() if strict is None else strict
+        self._owner: int | None = None  # thread ident while held
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
         self._registry.before_acquire(self.name, strict=self._strict)
         acquired = self._inner.acquire(blocking, timeout)
         if acquired:
+            self._owner = threading.get_ident()
             self._registry.after_acquire(self.name)
         return acquired
 
     def release(self) -> None:
+        self._owner = None
         self._inner.release()
         self._registry.note_release(self.name)
 
     def locked(self) -> bool:
         return self._inner.locked()
+
+    def _is_owned(self) -> bool:
+        """Whether the calling thread holds this lock (Condition support)."""
+        return self._owner == threading.get_ident()
 
     def __enter__(self) -> bool:
         return self.acquire()

@@ -20,6 +20,7 @@ from repro.causal.effects import EffectEstimate
 from repro.causal.ols import ReusableDesign, ols_fit
 from repro.dataframe import MaskCache, Pattern, Table, design_matrix
 from repro.graph import CausalDAG, backdoor_adjustment_set, parents_adjustment_set
+from repro.parallel import map_morsels
 
 
 def naive_difference_in_means(outcome: np.ndarray, treated: np.ndarray) -> EffectEstimate:
@@ -227,11 +228,21 @@ class CATEEstimator:
         With the cache enabled the sub-population is bound once and every
         treatment of the batch reuses the binding (one selection + one design
         matrix per adjustment set instead of one per treatment).
+
+        The batch runs through the morsel pool
+        (:func:`repro.parallel.map_morsels`): at width 1 it is exactly the
+        serial list comprehension, and at any width the result is the same
+        list in the same order — :meth:`BoundSubpopulation.estimate` is
+        thread-safe (the mask cache locks, regression buffers are
+        thread-local) and bit-deterministic, so summaries are byte-identical
+        across pool widths.  Mining groupings already fan out over the pool;
+        this nested call then runs serially inside a worker (no pool-in-pool)
+        and in parallel when the outer layer is serial.
         """
         if not self.use_cache:
             return [self.estimate(t, subpopulation) for t in treatments]
         bound = self.bind(subpopulation)
-        return [bound.estimate(t) for t in treatments]
+        return map_morsels(bound.estimate, treatments)
 
     def cache_stats(self):
         """Statistics of the shared mask cache (``None`` when caching is off)."""

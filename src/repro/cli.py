@@ -91,6 +91,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--memory-budget-mb", type=float, default=None,
                        help="byte cap for cached summaries (shared LRU "
                             "eviction across datasets)")
+    serve.add_argument("--http", metavar="HOST:PORT", default=None,
+                       help="serve over HTTP instead of the stdin loop "
+                            "(POST /v1/<op>, GET /healthz, GET /metrics; "
+                            "multi-tenant via the X-Repro-Tenant header)")
+    serve.add_argument("--http-max-inflight", type=int, default=8,
+                       help="requests executing concurrently (HTTP mode)")
+    serve.add_argument("--http-max-queue", type=int, default=64,
+                       help="requests waiting for a slot before 429 shedding")
+    serve.add_argument("--http-tenant-inflight", type=int, default=None,
+                       help="per-tenant cap on requests inside the server")
+    serve.add_argument("--http-deadline-ms", type=float, default=None,
+                       help="default per-request deadline (504 on expiry); "
+                            "X-Repro-Deadline-Ms overrides per request")
+    serve.add_argument("--http-tenant-budget-mb", type=float, default=None,
+                       help="isolated summary-cache byte budget per tenant")
+    serve.add_argument("--http-drain-timeout", type=float, default=10.0,
+                       help="seconds to let in-flight requests finish on "
+                            "SIGTERM before snapshotting and closing")
 
     batch = sub.add_parser(
         "batch", help="answer a file of queries and emit JSON summaries")
@@ -256,11 +274,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("error: --store cannot be combined with --dataset/--csv",
                   file=sys.stderr)
             return 2
+        if args.http:
+            return _serve_http(args)
         return _serve_store(args)
     if not args.dataset and not args.csv:
         print("error: one of --dataset, --csv, or --store is required",
               file=sys.stderr)
         return 2
+    if args.http:
+        return _serve_http(args)
     made = _make_engine(args)
     if made is None:
         return 2
@@ -268,6 +290,88 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"[serving dataset {name!r}; one JSON request per line, "
           '{"op": "quit"} to stop]', file=sys.stderr)
     serve_loop(engine, name, sys.stdin, sys.stdout)
+    return 0
+
+
+def _http_registry(args: argparse.Namespace):
+    """A TenantRegistry from the serve command's source options, or None."""
+    from repro.net import TenantRegistry
+
+    budget_mb = args.http_tenant_budget_mb
+    tenant_budget = int(budget_mb * 2**20) if budget_mb else None
+    if args.store is not None:
+        from repro.storage import DatasetStore, StorageError
+
+        try:
+            store = DatasetStore(args.store)
+        except StorageError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None
+        overrides = {"n_jobs": args.n_jobs} if args.n_jobs != 1 else None
+        try:
+            return TenantRegistry.from_store(
+                store, default_dataset=args.store_dataset,
+                tenant_budget_bytes=tenant_budget,
+                config_overrides=overrides, max_workers=args.max_workers,
+                summary_cache_size=args.summary_cache_size)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None
+    source = _load_source(args, require_query=False, machine_output=True)
+    if source is None:
+        return None
+    table, dag, _, grouping_attributes, treatment_attributes, config, name = source
+    return TenantRegistry.single_dataset(
+        name, table, dag=dag, config=config,
+        grouping_attributes=grouping_attributes,
+        treatment_attributes=treatment_attributes,
+        tenant_budget_bytes=tenant_budget, max_workers=args.max_workers,
+        summary_cache_size=args.summary_cache_size)
+
+
+def _serve_http(args: argparse.Namespace) -> int:
+    """Serve over HTTP until SIGTERM/SIGINT, then drain and snapshot."""
+    import signal
+    import threading
+
+    from repro.net import create_server
+
+    host, _, port_text = args.http.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: --http expects HOST:PORT, got {args.http!r}",
+              file=sys.stderr)
+        return 2
+    registry = _http_registry(args)
+    if registry is None:
+        return 2
+    deadline_ms = args.http_deadline_ms
+    server = create_server(
+        registry, host, port,
+        max_inflight=args.http_max_inflight,
+        max_queue=args.http_max_queue,
+        tenant_inflight=args.http_tenant_inflight,
+        default_deadline=deadline_ms / 1000.0 if deadline_ms else None)
+
+    def request_stop(signum, frame):
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, request_stop)
+    signal.signal(signal.SIGINT, request_stop)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"[serving HTTP on {bound_host}:{bound_port}; default dataset "
+          f"{registry.default_dataset!r}; SIGTERM drains and snapshots]",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    finally:
+        result = server.graceful_shutdown(args.http_drain_timeout)
+        persisted = sum(1 for s in result["snapshots"].values()
+                        if s is not None)
+        print(f"[drained={result['drained']}; {persisted} tenant "
+              f"snapshot(s) persisted]", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,103 @@
+"""Serving metrics for the HTTP tier: request counters and a latency ring.
+
+One :class:`ServingMetrics` instance is shared by every handler thread of a
+server.  It keeps per-``(op, status)`` request counters, the set of tenants
+seen, and a fixed-size ring buffer of request latencies from which p50/p99
+are computed on demand — constant memory no matter how long the server runs.
+
+The snapshot is surfaced in two places: ``GET /metrics`` (JSON by default,
+Prometheus-style text exposition via ``?format=text``) and, because the
+server attaches the instance to each engine it materializes
+(:meth:`ExplanationEngine.attach_http_metrics`), as the ``"http"`` section
+of the engine's own ``stats`` op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.lockwatch import named_lock
+
+
+class ServingMetrics:
+    """Thread-safe request counters + latency quantiles for one server."""
+
+    def __init__(self, ring_size: int = 2048):
+        if ring_size < 1:
+            raise ValueError("ring_size must be at least 1")
+        self._mlock = named_lock("ServingMetrics._mlock")
+        self._requests: dict[tuple[str, int], int] = {}  # guarded-by: _mlock
+        self._shed = 0  # guarded-by: _mlock
+        self._latencies = np.zeros(ring_size, dtype=np.float64)  # guarded-by: _mlock
+        self._pos = 0  # guarded-by: _mlock
+        self._count = 0  # guarded-by: _mlock
+        self._tenants: set[str] = set()  # guarded-by: _mlock
+
+    def record(self, op: str, status: int, seconds: float,
+               tenant: str | None = None) -> None:
+        """Record one finished (or refused) request."""
+        with self._mlock:
+            key = (op, int(status))
+            self._requests[key] = self._requests.get(key, 0) + 1
+            if status in (429, 503):
+                self._shed += 1
+            self._latencies[self._pos] = seconds
+            self._pos = (self._pos + 1) % len(self._latencies)
+            if self._count < len(self._latencies):
+                self._count += 1
+            if tenant is not None:
+                self._tenants.add(tenant)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view: counters, shed total, p50/p99, active tenants.
+
+        Keys are sorted so two snapshots of equal state serialize to equal
+        bytes — the benchmarks rely on deterministic output.
+        """
+        with self._mlock:
+            requests = {}
+            for (op, status), count in sorted(self._requests.items()):
+                requests.setdefault(op, {})[str(status)] = count
+            total = sum(self._requests.values())
+            filled = self._latencies[:self._count]
+            if self._count:
+                p50 = float(np.percentile(filled, 50))
+                p99 = float(np.percentile(filled, 99))
+            else:
+                p50 = p99 = 0.0
+            return {
+                "requests_total": total,
+                "requests": requests,
+                "shed_total": self._shed,
+                "latency_seconds": {"p50": p50, "p99": p99,
+                                    "window": self._count},
+                "active_tenants": sorted(self._tenants),
+            }
+
+    def render_text(self) -> str:
+        """Prometheus-style text exposition of :meth:`snapshot`."""
+        snap = self.snapshot()
+        lines = [
+            "# HELP repro_http_requests_total Requests by op and status.",
+            "# TYPE repro_http_requests_total counter",
+        ]
+        for op, by_status in snap["requests"].items():
+            for status, count in by_status.items():
+                lines.append(
+                    f'repro_http_requests_total{{op="{op}",'
+                    f'status="{status}"}} {count}')
+        lines += [
+            "# HELP repro_http_shed_total Requests refused by admission control.",
+            "# TYPE repro_http_shed_total counter",
+            f"repro_http_shed_total {snap['shed_total']}",
+            "# HELP repro_http_latency_seconds Request latency quantiles.",
+            "# TYPE repro_http_latency_seconds summary",
+            f'repro_http_latency_seconds{{quantile="0.5"}} '
+            f"{snap['latency_seconds']['p50']:.6f}",
+            f'repro_http_latency_seconds{{quantile="0.99"}} '
+            f"{snap['latency_seconds']['p99']:.6f}",
+            "# HELP repro_http_active_tenants Tenants that have sent requests.",
+            "# TYPE repro_http_active_tenants gauge",
+            f"repro_http_active_tenants {len(snap['active_tenants'])}",
+        ]
+        return "\n".join(lines) + "\n"

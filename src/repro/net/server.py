@@ -1,0 +1,276 @@
+"""The HTTP/1.1 front end over the explanation-engine dispatch core.
+
+Built on the standard library's ``ThreadingHTTPServer`` — no new runtime
+dependencies — this module exposes the same six ops the JSON-lines loop
+serves (:data:`repro.service.server.OPS`) as ``POST /v1/<op>``, plus::
+
+    GET /healthz            liveness (``serving`` / ``draining``)
+    GET /metrics            serving metrics: JSON, or Prometheus-style text
+                            with ``?format=text`` (or ``Accept: text/plain``)
+
+Byte-compatibility is a hard contract: a ``POST /v1/explain`` response body
+is exactly the line :func:`repro.service.serve_loop` would have written for
+the same request against the same engine — both fronts call the same
+:func:`~repro.service.server.dispatch_request` and serialize with the same
+``json.dumps(response, default=str) + "\\n"``.
+
+Request headers:
+
+``X-Repro-Tenant``
+    Tenant name (default ``"default"``); each tenant gets an isolated engine
+    via the :class:`~repro.net.registry.TenantRegistry`.
+``X-Repro-Deadline-Ms``
+    Per-request deadline in milliseconds, overriding the server default.
+    Expiry while queued or between ops returns 504.
+
+Failure statuses mirror the structured protocol errors: 400 ``bad_request``,
+404 ``unknown_op``/``unknown_dataset``, 429 ``shed``, 500 ``internal``,
+503 ``draining``, 504 ``deadline_exceeded``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.net.admission import (AdmissionController, Deadline,
+                                 DeadlineExceeded, RequestShed)
+from repro.net.metrics import ServingMetrics
+from repro.net.registry import TenantRegistry
+from repro.service.server import (OPS, ProtocolError, classify_error,
+                                  dispatch_request, error_envelope)
+
+#: HTTP status for each structured error code.
+STATUS_BY_CODE = {
+    "bad_request": 400,
+    "unknown_op": 404,
+    "unknown_dataset": 404,
+    "internal": 500,
+    "shed": 429,
+    "draining": 503,
+    "deadline_exceeded": 504,
+}
+
+DEFAULT_TENANT = "default"
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to a tenant registry.
+
+    One handler thread per connection; real concurrency is bounded by the
+    attached :class:`~repro.net.AdmissionController`, not by the thread
+    count.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # socketserver's default listen backlog (5) resets connections when
+    # hundreds of clients connect in the same instant; admission control is
+    # the intended gate, so accept generously and shed explicitly.
+    request_queue_size = 512
+
+    def __init__(self, address, registry: TenantRegistry,
+                 admission: AdmissionController | None = None,
+                 metrics: ServingMetrics | None = None,
+                 default_deadline: float | None = None):
+        self.registry = registry
+        self.admission = admission if admission is not None \
+            else AdmissionController()
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.default_deadline = default_deadline
+        registry.on_materialize(
+            lambda engine: engine.attach_http_metrics(self.metrics))
+        super().__init__(address, _Handler)
+
+    def graceful_shutdown(self, drain_timeout: float | None = 10.0) -> dict:
+        """Drain, snapshot, and close: the SIGTERM path.
+
+        New arrivals are shed with 503 immediately; requests already
+        admitted (or queued) get up to ``drain_timeout`` seconds to finish;
+        then every store-backed tenant engine snapshots its warm state.
+        Safe to call after ``serve_forever`` has returned.
+        """
+        self.admission.close()
+        self.shutdown()  # no-op if the serve loop already stopped
+        drained = self.admission.drain(drain_timeout)
+        snapshots = self.registry.snapshot_all()
+        self.server_close()
+        return {"drained": drained, "snapshots": snapshots}
+
+
+def create_server(registry: TenantRegistry, host: str = "127.0.0.1",
+                  port: int = 0, *, max_inflight: int = 8,
+                  max_queue: int = 64, tenant_inflight: int | None = None,
+                  default_deadline: float | None = None) -> ReproHTTPServer:
+    """Build a ready-to-serve :class:`ReproHTTPServer` (port 0 = ephemeral)."""
+    admission = AdmissionController(max_inflight=max_inflight,
+                                    max_queue=max_queue,
+                                    tenant_inflight=tenant_inflight)
+    return ReproHTTPServer((host, port), registry, admission=admission,
+                           default_deadline=default_deadline)
+
+
+def serve_in_thread(server: ReproHTTPServer) -> threading.Thread:
+    """Run ``serve_forever`` on a daemon thread (tests, embedding)."""
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-http-serve", daemon=True)
+    thread.start()
+    return thread
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ReproHTTPServer  # narrowed from BaseServer for attribute access
+
+    # ------------------------------------------------------------------ GET
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        started = time.monotonic()
+        parts = urlsplit(self.path)
+        if parts.path == "/healthz":
+            closing = self.server.admission.stats()["closing"]
+            body = {"ok": True,
+                    "status": "draining" if closing else "serving"}
+            self._send_json(200, body)
+            self._record("healthz", 200, started)
+        elif parts.path == "/metrics":
+            query = parse_qs(parts.query)
+            wants_text = query.get("format", [""])[0] == "text" or \
+                "text/plain" in self.headers.get("Accept", "")
+            if wants_text:
+                self._send_text(200, self.server.metrics.render_text())
+            else:
+                body = {"ok": True,
+                        "http": self.server.metrics.snapshot(),
+                        "admission": self.server.admission.stats(),
+                        "tenants": self.server.registry.tenants()}
+                self._send_json(200, body)
+            self._record("metrics", 200, started)
+        else:
+            envelope = {"ok": False,
+                        "error": f"unknown path {parts.path!r}",
+                        "error_code": "unknown_op"}
+            self._send_json(404, envelope)
+            self._record("unknown", 404, started)
+
+    # ------------------------------------------------------------------ POST
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        started = time.monotonic()
+        server = self.server
+        op = "unknown"
+        tenant = self.headers.get("X-Repro-Tenant", DEFAULT_TENANT)
+        request: dict = {}
+        try:
+            op = self._path_op()
+            request = self._read_request(op)
+            deadline = self._deadline()
+            with server.admission.admit(tenant, deadline):
+                engine = server.registry.engine_for(tenant)
+                response = dispatch_request(
+                    engine, server.registry.default_dataset, request,
+                    deadline=deadline)
+            status = 200
+        except (RequestShed, DeadlineExceeded) as exc:
+            response = {"ok": False, "error": str(exc),
+                        "error_code": exc.code}
+            status = STATUS_BY_CODE[exc.code]
+        except Exception as exc:  # noqa: BLE001 — protocol boundary
+            response = error_envelope(exc)
+            status = STATUS_BY_CODE.get(classify_error(exc), 500)
+        request_id = request.get("id")
+        if request_id is not None:
+            response["id"] = request_id
+        self._send_json(status, response)
+        self._record(op, status, started, tenant)
+
+    # ------------------------------------------------------------------ helpers
+
+    def _path_op(self) -> str:
+        path = urlsplit(self.path).path
+        if not path.startswith("/v1/"):
+            raise ProtocolError("unknown_op", f"unknown path {path!r}")
+        op = path[len("/v1/"):]
+        if op not in OPS:
+            raise ProtocolError("unknown_op", f"unknown op {op!r}")
+        return op
+
+    def _read_request(self, op: str) -> dict:
+        """Parse the body into a request dict, pinning ``op`` from the path.
+
+        An empty body is a bare ``{"op": op}`` request (``stats``,
+        ``snapshot``); a JSON object body supplies the op's fields.  A body
+        whose own ``"op"`` disagrees with the path is refused rather than
+        silently rerouted.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            raise ProtocolError("bad_request",
+                                "invalid Content-Length header") from None
+        raw = self.rfile.read(length).decode("utf-8") if length else ""
+        if not raw.strip():
+            return {"op": op}
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError("bad_request",
+                                f"invalid JSON body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ProtocolError("bad_request",
+                                "request body must be a JSON object")
+        body_op = body.get("op")
+        if body_op is not None and body_op != op:
+            raise ProtocolError(
+                "bad_request",
+                f"body op {body_op!r} disagrees with path op {op!r}")
+        body["op"] = op
+        return body
+
+    def _deadline(self) -> Deadline | None:
+        header = self.headers.get("X-Repro-Deadline-Ms")
+        if header is None:
+            if self.server.default_deadline is None:
+                return None
+            return Deadline(self.server.default_deadline)
+        try:
+            millis = float(header)
+            if millis <= 0:
+                raise ValueError
+        except ValueError:
+            raise ProtocolError(
+                "bad_request",
+                f"X-Repro-Deadline-Ms must be a positive number, "
+                f"got {header!r}") from None
+        return Deadline(millis / 1000.0)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        # Exactly the bytes serve_loop writes for the same response dict —
+        # the byte-compatibility contract between the two front ends.
+        body = (json.dumps(payload, default=str) + "\n").encode("utf-8")
+        self._send_bytes(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_bytes(status, text.encode("utf-8"),
+                         "text/plain; charset=utf-8")
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to report to it
+
+    def _record(self, op: str, status: int, started: float,
+                tenant: str | None = None) -> None:
+        self.server.metrics.record(op, status, time.monotonic() - started,
+                                   tenant)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr logging; metrics carry the signal."""

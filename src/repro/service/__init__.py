@@ -11,7 +11,10 @@ parallelise, and new data arrives incrementally via versioned appends.  See
 from repro.service.engine import DatasetState, ExplanationEngine
 from repro.service.lru import LRUCache, LRUStats
 from repro.service.membudget import MemoryBudget
-from repro.service.server import handle_request, read_queries, run_batch, serve_loop
+from repro.service.server import (OPS, ProtocolError, classify_error,
+                                  dispatch_request, error_envelope,
+                                  handle_request, parse_request, read_queries,
+                                  run_batch, serve_loop)
 
 __all__ = [
     "DatasetState",
@@ -19,7 +22,13 @@ __all__ = [
     "LRUCache",
     "LRUStats",
     "MemoryBudget",
+    "OPS",
+    "ProtocolError",
+    "classify_error",
+    "dispatch_request",
+    "error_envelope",
     "handle_request",
+    "parse_request",
     "read_queries",
     "run_batch",
     "serve_loop",

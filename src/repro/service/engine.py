@@ -157,6 +157,9 @@ class ExplanationEngine:
         self._batch_deduped = 0  # guarded-by: _flights_lock
         self._store = None  # DatasetStore when built via from_store
         self._restored_summaries = 0  # guarded-by: _flights_lock
+        # HTTP-tier metrics hook (repro.net): attached once before serving
+        # starts, read-only afterwards, so no lock is needed.
+        self._http_metrics = None
 
     # ------------------------------------------------------------------ registration
 
@@ -272,6 +275,31 @@ class ExplanationEngine:
     def attach_store(self, store) -> None:
         """Attach a :class:`~repro.storage.DatasetStore` for :meth:`snapshot`."""
         self._store = store
+
+    def detach_store(self) -> None:
+        """Detach the backing store from the engine and all its datasets.
+
+        Afterwards :meth:`snapshot` refuses and :meth:`append_rows` mutates
+        in memory only.  The HTTP tier's tenant registry uses this for
+        non-default tenants restored from a shared store: several tenants
+        appending to the same stored dataset would race on its committed
+        version, so only the reserved ``default`` tenant keeps durability.
+        """
+        self._store = None
+        with self._mutation_lock, self._datasets_lock:
+            for name, state in list(self._datasets.items()):
+                if state.store is not None:
+                    self._datasets[name] = replace(state, store=None)
+
+    def attach_http_metrics(self, metrics) -> None:
+        """Attach the HTTP tier's serving metrics (:mod:`repro.net`).
+
+        Any object with a ``snapshot() -> dict`` method; once attached,
+        :meth:`stats` surfaces it under the ``"http"`` key so the JSON-lines
+        ``stats`` op and ``GET /metrics`` report the same numbers.  Attach
+        before serving begins — the reference is read without locking.
+        """
+        self._http_metrics = metrics
 
     def summary_cache_items(self) -> list[tuple]:
         """Snapshot of ``(key, summary)`` entries (for store snapshots)."""
@@ -609,6 +637,8 @@ class ExplanationEngine:
             result["restored_summaries"] = restored_summaries
         if self.memory_budget is not None:
             result["memory_budget"] = self.memory_budget.stats()
+        if self._http_metrics is not None:
+            result["http"] = self._http_metrics.snapshot()
         return result
 
     @property

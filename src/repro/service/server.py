@@ -1,6 +1,6 @@
-"""Request-loop front ends for the explanation engine.
+"""Request-parsing and dispatch core shared by every engine front end.
 
-Two entry points, both wired into the CLI:
+Three entry points are wired into the CLI:
 
 * :func:`serve_loop` — a JSON-lines request/response loop (``repro serve``).
   Each input line is either a bare SQL string (shorthand for an ``explain``
@@ -23,6 +23,17 @@ Two entry points, both wired into the CLI:
   ``#`` comments allowed, or a JSON array of strings), serve them through
   :meth:`~repro.service.ExplanationEngine.explain_many`, and emit the JSON
   summaries (``repro batch``).
+
+* The HTTP tier (:mod:`repro.net`) calls :func:`dispatch_request` /
+  :func:`error_envelope` directly, so an HTTP response body is byte-for-byte
+  the line the stdin loop would have written for the same request.
+
+Errors are *structured*: every failure envelope carries ``"error_code"`` —
+``bad_request`` (malformed JSON / SQL / arguments), ``unknown_op``,
+``unknown_dataset``, or ``internal`` — so transports can map failures onto
+their own status vocabulary (the HTTP tier uses 400/404/404/500) without
+string-matching.  The stdin loop keeps the same ``ok``/``error`` envelope it
+always had; ``error_code`` is an additional key.
 """
 
 from __future__ import annotations
@@ -33,6 +44,139 @@ from typing import IO, Iterable
 from repro.core import summary_to_dict
 from repro.service.engine import ExplanationEngine
 
+#: Every op the dispatch core understands (``quit`` is loop-only: the HTTP
+#: tier refuses it with ``unknown_op`` and shuts down via signals instead).
+OPS = ("explain", "explain_plan", "batch", "append_rows", "stats", "snapshot")
+
+
+class ProtocolError(Exception):
+    """A request failure with a machine-readable ``code``.
+
+    ``code`` is one of ``bad_request`` / ``unknown_op`` / ``unknown_dataset``
+    / ``internal`` for failures raised by the dispatch core; transports may
+    define additional codes (the HTTP tier adds ``shed``, ``draining``, and
+    ``deadline_exceeded``).
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+def classify_error(exc: BaseException) -> str:
+    """The ``error_code`` for an exception escaping an op handler.
+
+    Value/key/type errors come from the request's own content (bad SQL, a
+    schema mismatch, wrong argument shapes) and are the client's fault;
+    anything else is an ``internal`` failure of the server.
+    """
+    if isinstance(exc, ProtocolError):
+        return exc.code
+    if isinstance(exc, (ValueError, KeyError, TypeError)):
+        return "bad_request"
+    return "internal"
+
+
+def error_envelope(exc: BaseException) -> dict:
+    """The ``{"ok": false, ...}`` response body for a failed request."""
+    if isinstance(exc, ProtocolError):
+        return {"ok": False, "error": str(exc), "error_code": exc.code}
+    return {"ok": False, "error": f"{type(exc).__name__}: {exc}",
+            "error_code": classify_error(exc)}
+
+
+def parse_request(line: str) -> dict:
+    """Parse one request line into a request dict.
+
+    A bare SQL string is shorthand for ``{"op": "explain", "query": ...}``.
+    Raises :class:`ProtocolError` (``bad_request``) on malformed input.
+    """
+    line = line.strip()
+    if not line:
+        raise ProtocolError("bad_request", "empty request")
+    if not line.startswith("{"):
+        return {"op": "explain", "query": line}
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad_request", f"invalid JSON: {exc}") from exc
+    if not isinstance(request, dict):
+        raise ProtocolError(
+            "bad_request", "request must be a JSON object or a SQL string")
+    return request
+
+
+def _require(request: dict, field: str):
+    try:
+        return request[field]
+    except KeyError:
+        raise ProtocolError(
+            "bad_request",
+            f"request op {request.get('op')!r} requires field {field!r}"
+        ) from None
+
+
+def dispatch_request(engine: ExplanationEngine, dataset: str, request: dict,
+                     deadline=None) -> dict:
+    """Execute one parsed request and return its success envelope.
+
+    This is the dispatch core every front end shares: the stdin loop wraps it
+    in :func:`handle_request`, the HTTP tier calls it directly.  Failures are
+    raised (:class:`ProtocolError` for structured protocol failures, the
+    original exception otherwise); use :func:`error_envelope` to format them.
+
+    ``deadline`` is an optional cooperative-cancellation hook: any object
+    with a ``check()`` method raising on expiry (see
+    :class:`repro.net.Deadline`).  It is consulted at op boundaries — before
+    the op starts and, for ``batch``, between queries — never mid-kernel, so
+    a response that does come back is always a complete, correct one.
+    """
+    op = request.get("op", "explain")
+    target = request.get("dataset", dataset)
+    if op == "quit":
+        return {"ok": True, "quit": True}
+    if op not in OPS:
+        raise ProtocolError("unknown_op", f"unknown op {op!r}")
+    if deadline is not None:
+        deadline.check(f"op {op!r}")
+    if op in ("explain", "explain_plan", "batch", "append_rows"):
+        try:
+            engine.dataset_state(target)
+        except KeyError as exc:
+            raise ProtocolError("unknown_dataset", str(exc).strip('"\'')) \
+                from exc
+    if op == "explain":
+        summary, info = engine.explain_with_info(target, _require(request, "query"))
+        return {"ok": True, "result": summary_to_dict(summary),
+                "cached": info["cached"], "coalesced": info["coalesced"],
+                "fingerprint": info["fingerprint"],
+                "version": info["version"]}
+    if op == "explain_plan":
+        return {"ok": True,
+                "result": engine.explain_plan(target, _require(request, "query"))}
+    if op == "batch":
+        queries = list(_require(request, "queries"))
+        if deadline is None:
+            summaries = engine.explain_many(target, queries)
+        else:
+            # Cooperative cancellation between queries: each query is served
+            # individually (the summary cache makes this equivalent to the
+            # deduplicating batch path) so an expired deadline stops the
+            # batch at the next boundary instead of after the whole batch.
+            summaries = []
+            for query in queries:
+                deadline.check("batch query")
+                summaries.append(engine.explain(target, query))
+        return {"ok": True,
+                "results": [summary_to_dict(s) for s in summaries]}
+    if op == "append_rows":
+        return {"ok": True,
+                "result": engine.append_rows(target, _require(request, "rows"))}
+    if op == "stats":
+        return {"ok": True, "result": engine.stats()}
+    # snapshot
+    return {"ok": True, "result": engine.snapshot()}
+
 
 def handle_request(engine: ExplanationEngine, dataset: str, line: str) -> dict:
     """Handle one request line and return the response dict.
@@ -40,49 +184,13 @@ def handle_request(engine: ExplanationEngine, dataset: str, line: str) -> dict:
     A ``quit`` request is acknowledged with ``{"ok": True, "quit": True}`` —
     the caller decides to stop on the ``"quit"`` marker.
     """
-    line = line.strip()
-    if not line:
-        return {"ok": False, "error": "empty request"}
     request_id = None
     try:
-        if line.startswith("{"):
-            request = json.loads(line)
-            if not isinstance(request, dict):
-                raise ValueError("request must be a JSON object or a SQL string")
-        else:
-            request = {"op": "explain", "query": line}
+        request = parse_request(line)
         request_id = request.get("id")
-        op = request.get("op", "explain")
-        target = request.get("dataset", dataset)
-        if op == "quit":
-            response = {"ok": True, "quit": True}
-            if request_id is not None:
-                response["id"] = request_id
-            return response
-        if op == "explain":
-            summary, info = engine.explain_with_info(target, request["query"])
-            response = {"ok": True, "result": summary_to_dict(summary),
-                        "cached": info["cached"], "coalesced": info["coalesced"],
-                        "fingerprint": info["fingerprint"],
-                        "version": info["version"]}
-        elif op == "explain_plan":
-            response = {"ok": True,
-                        "result": engine.explain_plan(target, request["query"])}
-        elif op == "batch":
-            summaries = engine.explain_many(target, list(request["queries"]))
-            response = {"ok": True,
-                        "results": [summary_to_dict(s) for s in summaries]}
-        elif op == "append_rows":
-            response = {"ok": True,
-                        "result": engine.append_rows(target, request["rows"])}
-        elif op == "stats":
-            response = {"ok": True, "result": engine.stats()}
-        elif op == "snapshot":
-            response = {"ok": True, "result": engine.snapshot()}
-        else:
-            raise ValueError(f"unknown op {op!r}")
+        response = dispatch_request(engine, dataset, request)
     except Exception as exc:  # noqa: BLE001 — protocol boundary, report and carry on
-        response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        response = error_envelope(exc)
     if request_id is not None:
         response["id"] = request_id
     return response

@@ -1,0 +1,501 @@
+"""Tests for the HTTP serving tier (``repro.net``)."""
+
+import json
+import socket
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.analysis import lockwatch
+from repro.core import CauSumXConfig
+from repro.mining.treatments import TreatmentMinerConfig
+from repro.net import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceeded,
+    RequestShed,
+    ServingMetrics,
+    TenantRegistry,
+    create_server,
+    serve_in_thread,
+    validate_tenant,
+)
+from repro.service import ExplanationEngine, ProtocolError, serve_loop
+from repro.storage import DatasetStore
+
+BASE_QUERY = "SELECT Country, AVG(Salary) FROM SO GROUP BY Country"
+OTHER_QUERY = "SELECT Role, AVG(Salary) FROM SO GROUP BY Role"
+
+
+def net_config(**overrides) -> CauSumXConfig:
+    config = CauSumXConfig(
+        k=3, theta=0.5, apriori_threshold=0.1, sample_size=None,
+        min_group_size=5,
+        treatment=TreatmentMinerConfig(max_levels=2, min_group_size=5,
+                                       significance_level=0.05,
+                                       max_values_per_attribute=8),
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def make_registry(bundle, **kwargs) -> TenantRegistry:
+    kwargs.setdefault("max_workers", 2)
+    kwargs.setdefault("summary_cache_size", 8)
+    return TenantRegistry.single_dataset(
+        bundle.name, bundle.table, dag=bundle.dag, config=net_config(),
+        grouping_attributes=bundle.grouping_attributes,
+        treatment_attributes=bundle.treatment_attributes, **kwargs)
+
+
+@contextmanager
+def live_server(registry, **server_kwargs):
+    """A served ``ReproHTTPServer`` on an ephemeral port, always closed."""
+    server = create_server(registry, "127.0.0.1", 0, **server_kwargs)
+    serve_in_thread(server)
+    try:
+        yield server
+    finally:
+        server.graceful_shutdown(drain_timeout=30.0)
+
+
+def http_request(server, method, path, body=None, headers=None,
+                 timeout=120.0):
+    """A minimal HTTP/1.1 client; returns ``(status, raw body bytes)``.
+
+    Deliberately socket-level (no urllib) so the response body bytes arrive
+    exactly as sent — the byte-identity tests compare them verbatim.
+    """
+    host, port = server.server_address[:2]
+    payload = b""
+    if body is not None:
+        payload = body if isinstance(body, bytes) \
+            else json.dumps(body).encode("utf-8")
+    lines = [f"{method} {path} HTTP/1.1", f"Host: {host}:{port}",
+             "Connection: close", f"Content-Length: {len(payload)}"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    request = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + payload
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(request)
+        raw = b""
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    header_text = head.decode("latin-1").lower()
+    length = None
+    for line in header_text.splitlines():
+        if line.startswith("content-length:"):
+            length = int(line.split(":", 1)[1].strip())
+    body_bytes = rest if length is None else rest[:length]
+    return status, body_bytes
+
+
+def post_json(server, path, body=None, headers=None, timeout=120.0):
+    status, raw = http_request(server, "POST", path, body=body,
+                               headers=headers, timeout=timeout)
+    return status, json.loads(raw)
+
+
+@pytest.fixture(scope="module")
+def so_net(so_bundle):
+    return so_bundle
+
+
+# ------------------------------------------------------------------ admission
+
+
+class TestAdmissionController:
+    def test_admits_within_capacity(self):
+        admission = AdmissionController(max_inflight=2, max_queue=0)
+        with admission.admit("a"):
+            with admission.admit("b"):
+                stats = admission.stats()
+                assert stats["inflight"] == 2
+        stats = admission.stats()
+        assert stats["inflight"] == 0
+        assert stats["admitted"] == 2
+        assert stats["peak_inflight"] == 2
+
+    def test_sheds_when_queue_full(self):
+        admission = AdmissionController(max_inflight=1, max_queue=0)
+        with admission.admit("a"):
+            with pytest.raises(RequestShed):
+                with admission.admit("b"):
+                    pass  # pragma: no cover
+        assert admission.stats()["shed"] == 1
+        # The slot freed up: the same request is now admitted.
+        with admission.admit("b"):
+            pass
+
+    def test_per_tenant_cap_sheds_only_that_tenant(self):
+        admission = AdmissionController(max_inflight=8, max_queue=8,
+                                        tenant_inflight=1)
+        with admission.admit("hog"):
+            with pytest.raises(RequestShed):
+                with admission.admit("hog"):
+                    pass  # pragma: no cover
+            with admission.admit("other"):
+                pass
+
+    def test_queued_request_proceeds_when_slot_frees(self):
+        admission = AdmissionController(max_inflight=1, max_queue=4)
+        entered = threading.Event()
+        release = threading.Event()
+        done = threading.Event()
+
+        def holder():
+            with admission.admit("a"):
+                entered.set()
+                release.wait(timeout=30)
+
+        def waiter():
+            entered.wait(timeout=30)
+            with admission.admit("b"):
+                done.set()
+
+        threads = [threading.Thread(target=holder),
+                   threading.Thread(target=waiter)]
+        for thread in threads:
+            thread.start()
+        entered.wait(timeout=30)
+        assert not done.is_set()  # queued behind the held slot
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert done.is_set()
+        assert admission.stats()["peak_queued"] == 1
+
+    def test_deadline_expires_while_queued(self):
+        admission = AdmissionController(max_inflight=1, max_queue=4)
+        with admission.admit("a"):
+            with pytest.raises(DeadlineExceeded):
+                with admission.admit("b", Deadline(0.05)):
+                    pass  # pragma: no cover
+        stats = admission.stats()
+        assert stats["deadline_rejects"] == 1
+        assert stats["queued"] == 0
+        assert "b" not in admission._per_tenant  # tenant count fully released
+
+    def test_close_sheds_with_draining_and_drain_waits(self):
+        admission = AdmissionController(max_inflight=2, max_queue=2)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def holder():
+            with admission.admit("a"):
+                entered.set()
+                release.wait(timeout=30)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        entered.wait(timeout=30)
+        admission.close()
+        with pytest.raises(RequestShed) as excinfo:
+            with admission.admit("b"):
+                pass  # pragma: no cover
+        assert excinfo.value.code == "draining"
+        assert not admission.drain(timeout=0.05)  # holder still inside
+        release.set()
+        assert admission.drain(timeout=30)
+        thread.join(timeout=30)
+
+
+class TestServingMetrics:
+    def test_counters_quantiles_and_text_exposition(self):
+        metrics = ServingMetrics(ring_size=8)
+        for i in range(4):
+            metrics.record("explain", 200, 0.010 * (i + 1), tenant="a")
+        metrics.record("explain", 429, 0.001, tenant="b")
+        snap = metrics.snapshot()
+        assert snap["requests_total"] == 5
+        assert snap["requests"]["explain"]["200"] == 4
+        assert snap["shed_total"] == 1
+        assert snap["active_tenants"] == ["a", "b"]
+        assert 0.001 <= snap["latency_seconds"]["p50"] \
+            <= snap["latency_seconds"]["p99"] <= 0.040
+        text = metrics.render_text()
+        assert 'repro_http_requests_total{op="explain",status="429"} 1' in text
+        assert "repro_http_shed_total 1" in text
+
+    def test_ring_buffer_is_bounded(self):
+        metrics = ServingMetrics(ring_size=4)
+        for i in range(100):
+            metrics.record("stats", 200, float(i))
+        snap = metrics.snapshot()
+        assert snap["latency_seconds"]["window"] == 4
+        assert snap["latency_seconds"]["p50"] >= 96.0  # only the newest kept
+
+
+class TestDeadline:
+    def test_check_raises_after_expiry(self):
+        deadline = Deadline(0.01)
+        assert deadline.remaining() <= 0.01
+        time.sleep(0.02)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("unit test")
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+
+
+# ------------------------------------------------------------------ registry
+
+
+class TestTenantRegistry:
+    def test_validate_tenant(self):
+        assert validate_tenant("team-a.prod_1") == "team-a.prod_1"
+        for bad in ("", "a/b", "x" * 65, "sp ace", None):
+            with pytest.raises(ProtocolError):
+                validate_tenant(bad)
+
+    def test_lazy_isolated_engines(self, so_net):
+        registry = make_registry(so_net, tenant_budget_bytes=8 << 20)
+        assert registry.tenants() == []
+        a = registry.engine_for("a")
+        b = registry.engine_for("b")
+        assert a is not b
+        assert a is registry.engine_for("a")  # memoized
+        assert a.memory_budget is not b.memory_budget  # isolated budgets
+        assert registry.tenants() == ["a", "b"]
+
+    def test_tenant_cap(self, so_net):
+        registry = make_registry(so_net, max_tenants=1)
+        registry.engine_for("a")
+        with pytest.raises(ProtocolError) as excinfo:
+            registry.engine_for("b")
+        assert excinfo.value.code == "bad_request"
+
+    def test_append_isolated_between_tenants(self, so_net):
+        registry = make_registry(so_net)
+        a = registry.engine_for("a")
+        b = registry.engine_for("b")
+        name = so_net.name
+        before = b.dataset_state(name).version
+        row = so_net.table.take([0]).to_rows()[0]
+        result = a.append_rows(name, [row])
+        assert result["version"] == before + 1
+        assert b.dataset_state(name).version == before  # b untouched
+        assert b.dataset_state(name).table.n_rows \
+            == a.dataset_state(name).table.n_rows - 1
+
+
+# ------------------------------------------------------------------ HTTP
+
+
+class TestHTTPServer:
+    def test_healthz_metrics_and_explain(self, so_net):
+        registry = make_registry(so_net)
+        with live_server(registry) as server:
+            status, body = post_json(server, "/v1/explain",
+                                     {"query": BASE_QUERY, "id": 42})
+            assert status == 200
+            assert body["ok"] is True
+            assert body["id"] == 42
+            assert body["result"]["k"] == 3
+            assert body["cached"] is False
+
+            status, raw = http_request(server, "GET", "/healthz")
+            assert status == 200
+            assert json.loads(raw)["status"] == "serving"
+
+            status, metrics = http_request(server, "GET", "/metrics")
+            metrics = json.loads(metrics)
+            assert status == 200
+            assert metrics["http"]["requests"]["explain"]["200"] == 1
+            assert metrics["admission"]["admitted"] == 1
+            assert metrics["tenants"] == ["default"]
+
+            status, text = http_request(server, "GET", "/metrics?format=text")
+            assert status == 200
+            exposition = text.decode()
+            assert 'repro_http_requests_total{op="explain",status="200"} 1' \
+                in exposition
+            assert 'repro_http_latency_seconds{quantile="0.99"}' in exposition
+
+            # The engine's own stats op surfaces the same HTTP section.
+            status, stats = post_json(server, "/v1/stats")
+            assert status == 200
+            http_section = stats["result"]["http"]
+            assert http_section["requests"]["explain"]["200"] == 1
+            assert "default" in http_section["active_tenants"]
+
+    def test_http_response_bytes_match_stdin_loop(self, so_net):
+        registry = make_registry(so_net)
+        with live_server(registry) as server:
+            request = {"op": "explain", "query": BASE_QUERY, "id": 9}
+            status, first = http_request(server, "POST", "/v1/explain",
+                                         body=request)
+            assert status == 200
+            # Second serving is a cache hit: the response embeds the cached
+            # summary (timings included) so both fronts on the same engine
+            # must produce identical bytes.
+            _, via_http = http_request(server, "POST", "/v1/explain",
+                                       body=request)
+            engine = server.registry.engine_for("default")
+            out = __import__("io").StringIO()
+            serve_loop(engine, registry.default_dataset,
+                       [json.dumps(request)], out)
+            via_stdin = out.getvalue().encode("utf-8")
+            assert via_http == via_stdin
+            assert json.loads(via_http)["cached"] is True
+            assert via_http != first  # first compute reported cached: false
+
+    def test_protocol_errors_map_to_statuses(self, so_net):
+        registry = make_registry(so_net)
+        with live_server(registry) as server:
+            cases = [
+                ("/v1/explain", b"{not json", None, 400, "bad_request"),
+                ("/v1/explain", [1, 2], None, 400, "bad_request"),
+                ("/v1/explain", {"op": "stats"}, None, 400, "bad_request"),
+                ("/v1/explain", {}, None, 400, "bad_request"),  # missing query
+                ("/v1/explain", {"query": "SELECT"}, None, 400, "bad_request"),
+                ("/v1/quit", None, None, 404, "unknown_op"),
+                ("/v2/explain", None, None, 404, "unknown_op"),
+                ("/v1/explain", {"query": BASE_QUERY, "dataset": "nope"},
+                 None, 404, "unknown_dataset"),
+                ("/v1/stats", None, {"X-Repro-Tenant": "bad/name"},
+                 400, "bad_request"),
+                ("/v1/stats", None, {"X-Repro-Deadline-Ms": "-3"},
+                 400, "bad_request"),
+            ]
+            for path, body, headers, expected_status, expected_code in cases:
+                status, response = post_json(server, path, body=body,
+                                             headers=headers)
+                assert status == expected_status, (path, response)
+                assert response["ok"] is False
+                assert response["error_code"] == expected_code
+
+    def test_saturated_queue_sheds_429(self, so_net):
+        registry = make_registry(so_net)
+        with live_server(registry, max_inflight=1, max_queue=0) as server:
+            # Hold the only slot directly so the shed is deterministic.
+            with server.admission.admit("holder"):
+                status, response = post_json(server, "/v1/stats")
+                assert status == 429
+                assert response["error_code"] == "shed"
+            assert server.metrics.snapshot()["shed_total"] == 1
+            status, _ = post_json(server, "/v1/stats")
+            assert status == 200  # recovered once the slot freed
+
+    def test_tenant_cap_shed_does_not_affect_others(self, so_net):
+        registry = make_registry(so_net)
+        with live_server(registry, max_inflight=8, max_queue=8,
+                         tenant_inflight=1) as server:
+            with server.admission.admit("hog"):
+                status, response = post_json(
+                    server, "/v1/stats", headers={"X-Repro-Tenant": "hog"})
+                assert status == 429
+                status, _ = post_json(
+                    server, "/v1/stats", headers={"X-Repro-Tenant": "quiet"})
+                assert status == 200
+
+    def test_deadline_expiry_returns_504(self, so_net):
+        registry = make_registry(so_net)
+        with live_server(registry, max_inflight=1, max_queue=4) as server:
+            with server.admission.admit("holder"):
+                status, response = post_json(
+                    server, "/v1/stats",
+                    headers={"X-Repro-Deadline-Ms": "80"})
+            assert status == 504
+            assert response["error_code"] == "deadline_exceeded"
+            assert server.admission.stats()["deadline_rejects"] == 1
+
+    def test_server_default_deadline_applies(self, so_net):
+        registry = make_registry(so_net)
+        with live_server(registry, max_inflight=1, max_queue=4,
+                         default_deadline=0.08) as server:
+            with server.admission.admit("holder"):
+                status, response = post_json(server, "/v1/stats")
+            assert status == 504
+            assert response["error_code"] == "deadline_exceeded"
+
+    def test_drain_sheds_new_snapshots_store_tenants(self, so_net, tmp_path):
+        store = DatasetStore.init(tmp_path / "store")
+        store.import_bundle(so_net, config=net_config())
+        registry = TenantRegistry.from_store(store, max_workers=2)
+        server = create_server(registry, "127.0.0.1", 0)
+        serve_in_thread(server)
+        status, body = post_json(server, "/v1/explain",
+                                 {"query": BASE_QUERY})
+        assert status == 200
+        # A second tenant serves from the same store but cannot write back.
+        status, _ = post_json(server, "/v1/explain", {"query": BASE_QUERY},
+                              headers={"X-Repro-Tenant": "guest"})
+        assert status == 200
+        server.admission.close()
+        status, response = post_json(server, "/v1/stats")
+        assert status == 503
+        assert response["error_code"] == "draining"
+        result = server.graceful_shutdown(drain_timeout=30.0)
+        assert result["drained"] is True
+        assert result["snapshots"]["default"]["summaries"] >= 1
+        assert result["snapshots"]["guest"] is None  # no write-back
+        # The snapshot warm-restarts byte-identically from disk.
+        restarted = ExplanationEngine.from_store(store)
+        assert restarted.stats()["restored_summaries"] >= 1
+
+    def test_concurrent_mixed_load_is_correct_and_acyclic(self, so_net):
+        watch = lockwatch.enable()
+        watch.reset()
+        try:
+            registry = make_registry(so_net, tenant_budget_bytes=16 << 20)
+            with live_server(registry, max_inflight=4,
+                             max_queue=64) as server:
+                # Warm both distinct queries once so the storm is cache-served
+                # and the test exercises concurrency, not compute time.
+                for query in (BASE_QUERY, OTHER_QUERY):
+                    status, _ = post_json(server, "/v1/explain",
+                                          {"query": query})
+                    assert status == 200
+                row = so_net.table.take([0]).to_rows()[0]
+                errors: list = []
+                statuses: list = []
+                start = threading.Barrier(8)
+
+                def reader(i: int):
+                    try:
+                        start.wait(timeout=60)
+                        for j in range(4):
+                            query = BASE_QUERY if (i + j) % 2 else OTHER_QUERY
+                            op, body = ("/v1/explain", {"query": query}) \
+                                if j % 4 != 3 else ("/v1/stats", None)
+                            status, _ = post_json(server, op, body=body)
+                            statuses.append(status)
+                    except BaseException as exc:  # pragma: no cover
+                        errors.append(exc)
+
+                def appender(i: int):
+                    try:
+                        start.wait(timeout=60)
+                        for _ in range(2):
+                            status, _ = post_json(
+                                server, "/v1/append_rows", {"rows": [row]},
+                                headers={"X-Repro-Tenant": f"writer-{i}"})
+                            statuses.append(status)
+                    except BaseException as exc:  # pragma: no cover
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=reader, args=(i,))
+                           for i in range(6)]
+                threads += [threading.Thread(target=appender, args=(i,))
+                            for i in range(2)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=300)
+                assert not errors
+                assert statuses and all(s == 200 for s in statuses)
+                assert server.admission.stats()["shed"] == 0
+            watch.assert_acyclic()
+            assert watch.violations == []
+        finally:
+            watch.reset()
+            lockwatch.disable()

@@ -210,6 +210,64 @@ class TestWorkerInvariance:
                     assert view.group_weights() == in_memory.group_weights()
 
 
+class TestMiningWidthInvariance:
+    """Mining lattice scans run through the pool; summaries must not notice.
+
+    ``CATEEstimator.estimate_many`` fans whole lattice levels over
+    ``map_morsels`` (serially inside a grouping worker, in parallel when the
+    outer grouping layer is serial), so a full explanation — mining included
+    — must serialize byte-identically at any pool width.
+    """
+
+    def test_explain_summary_identical_across_widths(self, so_bundle,
+                                                     fast_config):
+        import json
+
+        from repro.core import CauSumX, summary_to_dict
+
+        query = parse_query("SELECT Country, AVG(Salary) FROM SO "
+                            "GROUP BY Country")
+        payloads = {}
+        for width in WIDTHS:
+            with workers(width):
+                summary = CauSumX(so_bundle.table, so_bundle.dag,
+                                  fast_config).explain(
+                    query,
+                    grouping_attributes=so_bundle.grouping_attributes,
+                    treatment_attributes=so_bundle.treatment_attributes)
+            payload = summary_to_dict(summary)
+            payload.pop("timings", None)
+            payloads[width] = json.dumps(payload, sort_keys=True, default=str)
+        for width in WIDTHS[1:]:
+            assert payloads[width] == payloads[1]
+
+    def test_estimate_many_identical_across_widths(self, so_bundle):
+        import dataclasses
+        import json
+
+        from repro.causal import CATEEstimator
+
+        def canon(estimates):
+            # json keeps NaN as a literal, so undefined estimates compare
+            # equal (dataclass == would fail on NaN != NaN).
+            return json.dumps([dataclasses.asdict(e) for e in estimates],
+                              sort_keys=True, default=str)
+
+        table = so_bundle.table
+        estimator = CATEEstimator(table, "Salary", dag=so_bundle.dag,
+                                  min_group_size=5)
+        treatments = [Pattern.of((attr, "==", value))
+                      for attr in so_bundle.treatment_attributes
+                      for value in table.domain(attr)[:3]]
+        subpopulation = Pattern.of(("Country", "==", table.domain("Country")[0]))
+        with workers(1):
+            serial = canon(estimator.estimate_many(treatments, subpopulation))
+        for width in WIDTHS[1:]:
+            with workers(width):
+                assert canon(estimator.estimate_many(
+                    treatments, subpopulation)) == serial
+
+
 # ------------------------------------------------------------- store-code memo
 
 
