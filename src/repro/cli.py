@@ -25,6 +25,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis.cli import add_lint_arguments, run_lint
+from repro.obs.cli import add_obs_arguments, run_obs
 from repro.core import CauSumX, CauSumXConfig, render_summary
 from repro.dataframe import read_csv
 from repro.datasets import list_datasets, load_dataset
@@ -140,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run the project-invariant static analyzer "
                      "(see repro.analysis)")
     add_lint_arguments(lint)
+
+    obs = sub.add_parser(
+        "obs", help="aggregate a store's persisted query telemetry "
+                    "(see repro.obs)")
+    add_obs_arguments(obs)
 
     case = sub.add_parser("case-study", help="run one of the paper's case studies")
     case.add_argument("name", choices=sorted(CASE_STUDIES),
@@ -611,6 +617,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_plan(args)
     if args.command == "lint":
         return run_lint(args)
+    if args.command == "obs":
+        return run_obs(args)
     return _cmd_case_study(args)
 
 

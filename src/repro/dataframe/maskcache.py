@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.analysis.lockwatch import named_lock
 from repro.dataframe.predicates import Pattern, Predicate
+from repro.obs import trace
 
 
 @dataclass(frozen=True)
@@ -97,9 +98,11 @@ class MaskCache:
         # Cold path: storage-backed tables evaluate the predicate one shard
         # at a time on the morsel pool (byte-identical concatenation); plain
         # tables run the single vectorized kernel as before.
-        shard_eval = getattr(self.table, "shard_predicate_mask", None)
-        mask = shard_eval(predicate) if shard_eval is not None \
-            else predicate.evaluate(self.table)
+        with trace.trace_span("maskcache.miss", predicate=repr(predicate)) \
+                if trace.enabled() else trace.NOOP:
+            shard_eval = getattr(self.table, "shard_predicate_mask", None)
+            mask = shard_eval(predicate) if shard_eval is not None \
+                else predicate.evaluate(self.table)
         mask.setflags(write=False)
         with self._lock:
             self._misses += 1

@@ -28,6 +28,8 @@ import time
 from contextlib import contextmanager
 
 from repro.analysis.lockwatch import named_lock
+from repro.obs import trace
+from repro.obs.registry import REGISTRY
 
 
 class RequestShed(Exception):
@@ -114,6 +116,8 @@ class AdmissionController:
         self._deadline_rejects = 0  # guarded-by: _lock
         self._peak_inflight = 0  # guarded-by: _lock
         self._peak_queued = 0  # guarded-by: _lock
+        self._queue_waits = 0  # guarded-by: _lock
+        self._queue_wait_seconds = 0.0  # guarded-by: _lock
 
     # ------------------------------------------------------------------ admission
 
@@ -133,6 +137,7 @@ class AdmissionController:
             self._leave(tenant)
 
     def _enter(self, tenant: str, deadline: Deadline | None) -> None:
+        queued_at = None
         with self._lock:
             if self._closing:
                 self._shed += 1
@@ -154,6 +159,7 @@ class AdmissionController:
                 self._queued += 1
                 if self._queued > self._peak_queued:
                     self._peak_queued = self._queued
+                queued_at = time.monotonic()
                 admitted = False
                 try:
                     while self._inflight >= self.max_inflight:
@@ -181,6 +187,16 @@ class AdmissionController:
             self._admitted += 1
             if self._inflight > self._peak_inflight:
                 self._peak_inflight = self._inflight
+            if queued_at is not None:
+                waited = time.monotonic() - queued_at
+                self._queue_waits += 1
+                self._queue_wait_seconds += waited
+        # Observability happens outside _lock: the histogram has its own
+        # lock, and the tracer touches no controller state.
+        if queued_at is not None:
+            REGISTRY.histogram(
+                "repro_admission_queue_wait_seconds").observe(waited)
+            trace.set_root_attr(queue_wait_ms=round(waited * 1000.0, 3))
 
     def _leave(self, tenant: str) -> None:
         with self._lock:
@@ -229,5 +245,7 @@ class AdmissionController:
                 "deadline_rejects": self._deadline_rejects,
                 "peak_inflight": self._peak_inflight,
                 "peak_queued": self._peak_queued,
+                "queue_waits": self._queue_waits,
+                "queue_wait_seconds": round(self._queue_wait_seconds, 6),
                 "closing": self._closing,
             }

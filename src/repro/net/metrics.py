@@ -1,36 +1,44 @@
-"""Serving metrics for the HTTP tier: request counters and a latency ring.
+"""Serving metrics for the HTTP tier: request counters and latency histogram.
 
 One :class:`ServingMetrics` instance is shared by every handler thread of a
 server.  It keeps per-``(op, status)`` request counters, the set of tenants
-seen, and a fixed-size ring buffer of request latencies from which p50/p99
-are computed on demand — constant memory no matter how long the server runs.
+seen, and a log-bucketed latency histogram
+(:class:`~repro.obs.registry.LogHistogram`) from which p50/p99 are computed
+on demand — constant memory no matter how long the server runs, and *every*
+request retained in the bucket counts (the previous fixed-size ring buffer
+silently truncated history under sustained load).
 
 The snapshot is surfaced in two places: ``GET /metrics`` (JSON by default,
-Prometheus-style text exposition via ``?format=text``) and, because the
+Prometheus-style text exposition via ``?format=text``, now including
+``repro_http_request_duration_seconds_bucket`` lines) and, because the
 server attaches the instance to each engine it materializes
 (:meth:`ExplanationEngine.attach_http_metrics`), as the ``"http"`` section
 of the engine's own ``stats`` op.
+
+Accounting invariant: a shed request (429/503) counts exactly once in its
+``(op, status)`` counter and exactly once in ``shed_total`` — both are
+incremented by the same single :meth:`record` call at the response boundary,
+never by the admission controller as well (its own ``shed`` counter is a
+separate, controller-level view).  ``tests/test_net.py`` pins this for the
+shed-while-queued path.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.lockwatch import named_lock
+from repro.obs.registry import LogHistogram, render_histogram_lines
 
 
 class ServingMetrics:
     """Thread-safe request counters + latency quantiles for one server."""
 
-    def __init__(self, ring_size: int = 2048):
-        if ring_size < 1:
-            raise ValueError("ring_size must be at least 1")
+    def __init__(self):
         self._mlock = named_lock("ServingMetrics._mlock")
         self._requests: dict[tuple[str, int], int] = {}  # guarded-by: _mlock
         self._shed = 0  # guarded-by: _mlock
-        self._latencies = np.zeros(ring_size, dtype=np.float64)  # guarded-by: _mlock
-        self._pos = 0  # guarded-by: _mlock
-        self._count = 0  # guarded-by: _mlock
+        # The histogram carries its own lock; it is observed outside _mlock
+        # so the two never nest.
+        self._latency = LogHistogram("repro_http_request_duration_seconds")
         self._tenants: set[str] = set()  # guarded-by: _mlock
 
     def record(self, op: str, status: int, seconds: float,
@@ -41,38 +49,34 @@ class ServingMetrics:
             self._requests[key] = self._requests.get(key, 0) + 1
             if status in (429, 503):
                 self._shed += 1
-            self._latencies[self._pos] = seconds
-            self._pos = (self._pos + 1) % len(self._latencies)
-            if self._count < len(self._latencies):
-                self._count += 1
             if tenant is not None:
                 self._tenants.add(tenant)
+        self._latency.observe(seconds)
 
     def snapshot(self) -> dict:
         """A JSON-ready view: counters, shed total, p50/p99, active tenants.
 
         Keys are sorted so two snapshots of equal state serialize to equal
-        bytes — the benchmarks rely on deterministic output.
+        bytes — the benchmarks rely on deterministic output.  The
+        ``latency_seconds`` shape is unchanged from the ring-buffer era;
+        ``window`` now reports *all* observations (nothing is truncated).
         """
         with self._mlock:
             requests = {}
             for (op, status), count in sorted(self._requests.items()):
                 requests.setdefault(op, {})[str(status)] = count
             total = sum(self._requests.values())
-            filled = self._latencies[:self._count]
-            if self._count:
-                p50 = float(np.percentile(filled, 50))
-                p99 = float(np.percentile(filled, 99))
-            else:
-                p50 = p99 = 0.0
-            return {
-                "requests_total": total,
-                "requests": requests,
-                "shed_total": self._shed,
-                "latency_seconds": {"p50": p50, "p99": p99,
-                                    "window": self._count},
-                "active_tenants": sorted(self._tenants),
-            }
+            shed = self._shed
+            tenants = sorted(self._tenants)
+        return {
+            "requests_total": total,
+            "requests": requests,
+            "shed_total": shed,
+            "latency_seconds": {"p50": self._latency.quantile(0.50),
+                                "p99": self._latency.quantile(0.99),
+                                "window": self._latency.count},
+            "active_tenants": tenants,
+        }
 
     def render_text(self) -> str:
         """Prometheus-style text exposition of :meth:`snapshot`."""
@@ -96,6 +100,12 @@ class ServingMetrics:
             f"{snap['latency_seconds']['p50']:.6f}",
             f'repro_http_latency_seconds{{quantile="0.99"}} '
             f"{snap['latency_seconds']['p99']:.6f}",
+            "# HELP repro_http_request_duration_seconds "
+            "Request latency histogram (log-bucketed).",
+        ]
+        lines.extend(render_histogram_lines(
+            "repro_http_request_duration_seconds", self._latency))
+        lines += [
             "# HELP repro_http_active_tenants Tenants that have sent requests.",
             "# TYPE repro_http_active_tenants gauge",
             f"repro_http_active_tenants {len(snap['active_tenants'])}",

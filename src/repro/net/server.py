@@ -22,6 +22,12 @@ Request headers:
 ``X-Repro-Deadline-Ms``
     Per-request deadline in milliseconds, overriding the server default.
     Expiry while queued or between ops returns 504.
+``X-Repro-Trace-Id``
+    With tracing enabled (``REPRO_TRACE=1``), the trace id to use for this
+    request (one is generated when absent).  The id in effect is echoed in
+    the ``X-Repro-Trace-Id`` response header and as the envelope's
+    ``trace_id`` field — on error envelopes too.  Ignored when tracing is
+    off, keeping response bodies byte-identical to the untraced build.
 
 Failure statuses mirror the structured protocol errors: 400 ``bad_request``,
 404 ``unknown_op``/``unknown_dataset``, 429 ``shed``, 500 ``internal``,
@@ -40,8 +46,11 @@ from repro.net.admission import (AdmissionController, Deadline,
                                  DeadlineExceeded, RequestShed)
 from repro.net.metrics import ServingMetrics
 from repro.net.registry import TenantRegistry
+from repro.obs import trace
+from repro.obs.registry import REGISTRY
 from repro.service.server import (OPS, ProtocolError, classify_error,
-                                  dispatch_request, error_envelope)
+                                  dispatch_request, error_envelope,
+                                  finalize_response)
 
 #: HTTP status for each structured error code.
 STATUS_BY_CODE = {
@@ -141,12 +150,14 @@ class _Handler(BaseHTTPRequestHandler):
             wants_text = query.get("format", [""])[0] == "text" or \
                 "text/plain" in self.headers.get("Accept", "")
             if wants_text:
-                self._send_text(200, self.server.metrics.render_text())
+                self._send_text(200, self.server.metrics.render_text()
+                                + REGISTRY.render_prometheus())
             else:
                 body = {"ok": True,
                         "http": self.server.metrics.snapshot(),
                         "admission": self.server.admission.stats(),
-                        "tenants": self.server.registry.tenants()}
+                        "tenants": self.server.registry.tenants(),
+                        "unified": REGISTRY.snapshot()}
                 self._send_json(200, body)
             self._record("metrics", 200, started)
         else:
@@ -164,27 +175,36 @@ class _Handler(BaseHTTPRequestHandler):
         op = "unknown"
         tenant = self.headers.get("X-Repro-Tenant", DEFAULT_TENANT)
         request: dict = {}
-        try:
-            op = self._path_op()
-            request = self._read_request(op)
-            deadline = self._deadline()
-            with server.admission.admit(tenant, deadline):
-                engine = server.registry.engine_for(tenant)
-                response = dispatch_request(
-                    engine, server.registry.default_dataset, request,
-                    deadline=deadline)
-            status = 200
-        except (RequestShed, DeadlineExceeded) as exc:
-            response = {"ok": False, "error": str(exc),
-                        "error_code": exc.code}
-            status = STATUS_BY_CODE[exc.code]
-        except Exception as exc:  # noqa: BLE001 — protocol boundary
-            response = error_envelope(exc)
-            status = STATUS_BY_CODE.get(classify_error(exc), 500)
-        request_id = request.get("id")
-        if request_id is not None:
-            response["id"] = request_id
+        traced = trace.enabled()
+        # Clients may supply their own id for cross-service correlation;
+        # either way the id used is echoed in the envelope and the
+        # X-Repro-Trace-Id response header — including on error envelopes.
+        trace_id = (self.headers.get("X-Repro-Trace-Id")
+                    or trace.new_trace_id()) if traced else None
+        with trace.new_trace("http.request", trace_id=trace_id,
+                             tenant=tenant):
+            try:
+                op = self._path_op()
+                request = self._read_request(op)
+                deadline = self._deadline()
+                with server.admission.admit(tenant, deadline):
+                    engine = server.registry.engine_for(tenant)
+                    response = dispatch_request(
+                        engine, server.registry.default_dataset, request,
+                        deadline=deadline)
+                status = 200
+            except (RequestShed, DeadlineExceeded) as exc:
+                response = {"ok": False, "error": str(exc),
+                            "error_code": exc.code}
+                status = STATUS_BY_CODE[exc.code]
+            except Exception as exc:  # noqa: BLE001 — protocol boundary
+                response = error_envelope(exc)
+                status = STATUS_BY_CODE.get(classify_error(exc), 500)
+        duration_ms = (time.monotonic() - started) * 1000.0 if traced else None
+        finalize_response(response, request.get("id"), trace_id, duration_ms)
+        self._trace_id = trace_id
         self._send_json(status, response)
+        self._trace_id = None
         self._record(op, status, started, tenant)
 
     # ------------------------------------------------------------------ helpers
@@ -262,6 +282,9 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            trace_id = getattr(self, "_trace_id", None)
+            if trace_id is not None:
+                self.send_header("X-Repro-Trace-Id", trace_id)
             self.end_headers()
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):

@@ -33,14 +33,18 @@ pool-in-pool explosion.
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
 from repro.analysis.lockwatch import named_lock
+from repro.obs import trace
+from repro.obs.registry import REGISTRY
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -165,15 +169,41 @@ def map_morsels(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         GLOBAL_PARALLEL_STATS.record_batch(len(items), workers=1)
         return [fn(item) for item in items]
     executor = _POOL.executor(width)
-    futures = [executor.submit(fn, item) for item in items]
-    try:
-        results = [future.result() for future in futures]
-    finally:
-        for future in futures:
-            future.cancel()
+    if trace.enabled():
+        # Carry the submitter's span context onto the worker threads so a
+        # morsel's spans hang off the request that fanned out.  One context
+        # copy per morsel — a Context cannot be entered concurrently.
+        submitted = time.perf_counter_ns()
+        with trace.trace_span("parallel.map", morsels=len(items),
+                              workers=min(width, len(items))):
+            futures = [executor.submit(contextvars.copy_context().run,
+                                       _traced_morsel, fn, item, submitted)
+                       for item in items]
+            try:
+                results = [future.result() for future in futures]
+            finally:
+                for future in futures:
+                    future.cancel()
+    else:
+        futures = [executor.submit(fn, item) for item in items]
+        try:
+            results = [future.result() for future in futures]
+        finally:
+            for future in futures:
+                future.cancel()
     GLOBAL_PARALLEL_STATS.record_batch(len(items),
                                        workers=min(width, len(items)))
     return results
+
+
+def _traced_morsel(fn: Callable[[T], R], item: T, submitted_ns: int) -> R:
+    """Run one morsel under its own span, recording time spent queued."""
+    wait_seconds = (time.perf_counter_ns() - submitted_ns) / 1e9
+    REGISTRY.histogram("repro_parallel_morsel_wait_seconds").observe(
+        wait_seconds)
+    with trace.trace_span("parallel.morsel",
+                          queue_wait_ms=round(wait_seconds * 1000.0, 3)):
+        return fn(item)
 
 
 # ---------------------------------------------------------------------- accounting
@@ -222,3 +252,10 @@ class ParallelStats:
 
 #: One process-wide collector — engines report it under ``stats()["parallel"]``.
 GLOBAL_PARALLEL_STATS = ParallelStats()
+
+# The same counters under the unified repro_<layer>_<name> vocabulary; the
+# registry pulls them on scrape, so nothing is double-counted or moved.
+REGISTRY.register_provider(
+    "parallel",
+    lambda: {f"repro_parallel_{key}": value
+             for key, value in GLOBAL_PARALLEL_STATS.snapshot().items()})

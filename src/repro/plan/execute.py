@@ -30,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dataframe.predicates import Pattern, Predicate
+from repro.obs import trace
 from repro.plan.config import planner_enabled
 from repro.plan.planner import ScanPlan, plan_scan
 from repro.plan.stats import TableStats
@@ -42,30 +43,50 @@ def scan_indices(table, plan: ScanPlan, mask_cache=None) -> np.ndarray:
     if not plan.conjuncts:
         plan.rows_out = n
         return np.arange(n)
+    # One span per conjunct with estimated vs actual selectivity attributes;
+    # `traced` is resolved once so the hot loop stays branch-and-go when off.
+    traced = trace.enabled()
     first = plan.conjuncts[0]
-    if mask_cache is not None:
-        mask = mask_cache.predicate_mask(first.predicate)
-    else:
-        mask = first.predicate.evaluate(table)
-    indices = np.flatnonzero(mask)
-    _record(first, n, indices.size)
-    for conjunct in plan.conjuncts[1:]:
-        before = indices.size
+    with _conjunct_span(first, traced):
         if mask_cache is not None:
-            satisfied = mask_cache.predicate_mask(conjunct.predicate)[indices]
+            mask = mask_cache.predicate_mask(first.predicate)
         else:
-            satisfied = conjunct.predicate.evaluate_at(table, indices)
-        indices = indices[satisfied]
-        _record(conjunct, before, indices.size)
+            mask = first.predicate.evaluate(table)
+        indices = np.flatnonzero(mask)
+        _record(first, n, indices.size, traced)
+    for conjunct in plan.conjuncts[1:]:
+        with _conjunct_span(conjunct, traced):
+            before = indices.size
+            if mask_cache is not None:
+                satisfied = mask_cache.predicate_mask(
+                    conjunct.predicate)[indices]
+            else:
+                satisfied = conjunct.predicate.evaluate_at(table, indices)
+            indices = indices[satisfied]
+            _record(conjunct, before, indices.size, traced)
     plan.rows_out = int(indices.size)
     return indices
 
 
-def _record(conjunct, candidates_in: int, candidates_out: int) -> None:
+def _conjunct_span(conjunct, traced: bool):
+    if not traced:
+        return trace.NOOP
+    return trace.trace_span(
+        "plan.conjunct", predicate=repr(conjunct.predicate),
+        estimated_selectivity=round(conjunct.estimated_selectivity, 6))
+
+
+def _record(conjunct, candidates_in: int, candidates_out: int,
+            traced: bool = False) -> None:
     conjunct.candidates_in = int(candidates_in)
     conjunct.candidates_out = int(candidates_out)
     conjunct.actual_selectivity = (candidates_out / candidates_in
                                    if candidates_in else 0.0)
+    if traced:
+        trace.set_current_attr(
+            actual_selectivity=round(conjunct.actual_selectivity, 6),
+            candidates_in=conjunct.candidates_in,
+            candidates_out=conjunct.candidates_out)
 
 
 def shard_scan_indices(table, predicates) -> tuple[np.ndarray, list]:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.lockwatch import named_lock
 from repro.dataframe.predicates import Op, Pattern, Predicate
+from repro.obs.registry import REGISTRY
 from repro.plan.stats import TableStats, table_stats
 
 #: Relative evaluation cost of one predicate kernel pass (see module doc).
@@ -205,3 +206,10 @@ class PlannerStats:
 
 #: One process-wide collector — engines report it under ``stats()["planner"]``.
 GLOBAL_PLANNER_STATS = PlannerStats()
+
+# The same counters under the unified repro_<layer>_<name> vocabulary; the
+# registry pulls them on scrape, so nothing is double-counted or moved.
+REGISTRY.register_provider(
+    "planner",
+    lambda: {f"repro_planner_{key}": value
+             for key, value in GLOBAL_PLANNER_STATS.snapshot().items()})

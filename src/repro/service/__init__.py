@@ -13,8 +13,9 @@ from repro.service.lru import LRUCache, LRUStats
 from repro.service.membudget import MemoryBudget
 from repro.service.server import (OPS, ProtocolError, classify_error,
                                   dispatch_request, error_envelope,
-                                  handle_request, parse_request, read_queries,
-                                  run_batch, serve_loop)
+                                  finalize_response, handle_request,
+                                  parse_request, read_queries, run_batch,
+                                  serve_loop)
 
 __all__ = [
     "DatasetState",
@@ -27,6 +28,7 @@ __all__ = [
     "classify_error",
     "dispatch_request",
     "error_envelope",
+    "finalize_response",
     "handle_request",
     "parse_request",
     "read_queries",

@@ -47,6 +47,7 @@ from the cache, byte-identical to the summary it served before the restart.
 
 from __future__ import annotations
 
+import contextvars
 import pickle
 import threading
 import time
@@ -61,6 +62,9 @@ from repro.causal import CATEEstimator
 from repro.core import CauSumX, CauSumXConfig, ExplanationSummary
 from repro.dataframe import MaskCache, Pattern, Table
 from repro.graph import CausalDAG
+from repro.obs import trace
+from repro.obs.registry import unified_engine_metrics
+from repro.obs.telemetry import telemetry_enabled
 from repro.parallel import GLOBAL_PARALLEL_STATS, worker_count
 from repro.plan import GLOBAL_PLANNER_STATS, lower_query, planner_enabled
 from repro.service.lru import LRUCache
@@ -160,6 +164,9 @@ class ExplanationEngine:
         # HTTP-tier metrics hook (repro.net): attached once before serving
         # starts, read-only afterwards, so no lock is needed.
         self._http_metrics = None
+        # Query-telemetry sink (repro.obs): attached once (from_store wires
+        # the store's log), read-only afterwards, so no lock is needed.
+        self._telemetry = None
 
     # ------------------------------------------------------------------ registration
 
@@ -233,6 +240,7 @@ class ExplanationEngine:
             store = DatasetStore(store)
         engine = cls(**engine_kwargs)
         engine._store = store
+        engine._telemetry = store.telemetry_log()
         registry = store.registry()
         for name in store.dataset_names():
             stored = store.dataset(name)
@@ -291,6 +299,19 @@ class ExplanationEngine:
                 if state.store is not None:
                     self._datasets[name] = replace(state, store=None)
 
+    def attach_telemetry(self, log) -> None:
+        """Attach a :class:`~repro.obs.TelemetryLog` query-telemetry sink.
+
+        One record per served :meth:`explain` — fingerprint, plan with
+        estimated vs actual per-conjunct selectivities, cache outcomes,
+        span timings — is appended whenever telemetry is enabled
+        (:func:`~repro.obs.telemetry_enabled`); attaching alone changes
+        nothing.  :meth:`from_store` attaches the store's own log
+        automatically.  Attach before serving begins — the reference is
+        read without locking.
+        """
+        self._telemetry = log
+
     def attach_http_metrics(self, metrics) -> None:
         """Attach the HTTP tier's serving metrics (:mod:`repro.net`).
 
@@ -334,8 +355,28 @@ class ExplanationEngine:
         computation (``coalesced``).
         """
         start = time.perf_counter()
+        # Observability rides along only when someone is listening: outcomes
+        # stays None on the default path, so serving allocates nothing extra.
+        telemetered = self._telemetry is not None and telemetry_enabled()
+        outcomes = {} if (telemetered or trace.enabled()) else None
+        with trace.trace_span("engine.explain", dataset=name) as span:
+            summary, info, canonical = self._explain_serve(
+                name, query, use_summary_cache, outcomes, start)
+        if telemetered:
+            self._record_telemetry(info, outcomes, span, canonical)
+        return summary, info
+
+    def _explain_serve(self, name: str, query: GroupByAvgQuery | str,
+                       use_summary_cache: bool, outcomes: dict | None,
+                       start: float
+                       ) -> tuple[ExplanationSummary, dict, GroupByAvgQuery]:
+        """The serving core of :meth:`explain_with_info`.
+
+        ``outcomes`` (when not ``None``) collects per-cache-level hit/miss
+        outcomes for the telemetry record as serving passes each level.
+        """
         state = self.dataset_state(name)
-        canonical = self._canonical(query)
+        canonical = self._canonical(query, outcomes)
         # The canonical query lowers to the plan IR; the plan's fingerprint
         # is the cache key (two spellings of one question share a plan).
         plan = lower_query(canonical)
@@ -347,9 +388,13 @@ class ExplanationEngine:
         if use_summary_cache:
             summary = self._summary_cache.get(key)
             if summary is not None:
+                if outcomes is not None:
+                    outcomes["summary"] = "hit"
                 info["cached"] = True
                 info["seconds"] = time.perf_counter() - start
-                return summary, info
+                return summary, info, canonical
+        if outcomes is not None:
+            outcomes["summary"] = "miss"
 
         while True:
             with self._flights_lock:
@@ -359,8 +404,10 @@ class ExplanationEngine:
                     flight = _Flight()
                     self._flights[key] = flight
             if leader:
+                if outcomes is not None:
+                    outcomes["flight"] = "leader"
                 try:
-                    summary = self._compute(state, canonical, plan)
+                    summary = self._compute(state, canonical, plan, outcomes)
                     if use_summary_cache:
                         self._summary_cache.put(key, summary)
                     flight.summary = summary
@@ -372,15 +419,45 @@ class ExplanationEngine:
                         self._flights.pop(key, None)
                     flight.done.set()
                 info["seconds"] = time.perf_counter() - start
-                return summary, info
+                return summary, info, canonical
             flight.done.wait()
             if flight.error is None and flight.summary is not None:
                 with self._flights_lock:
                     self._coalesced += 1
+                if outcomes is not None:
+                    outcomes["flight"] = "coalesced"
                 info["coalesced"] = True
                 info["seconds"] = time.perf_counter() - start
-                return flight.summary, info
+                return flight.summary, info, canonical
             # The leader failed; retry (and possibly become the leader).
+
+    def _record_telemetry(self, info: dict, outcomes: dict | None, span,
+                          canonical: GroupByAvgQuery) -> None:
+        """Append one query-telemetry record; never fails the query."""
+        key = (info["dataset"], info["version"], info["fingerprint"])
+        # peek(): telemetry must not perturb cache stats or recency.
+        view = self._view_cache.peek(key)
+        scan_plan = getattr(view, "scan_plan", None)
+        root = trace.current_root()
+        record = {
+            "kind": "explain",
+            "unix_ts": round(time.time(), 3),
+            "dataset": info["dataset"],
+            "version": info["version"],
+            "fingerprint": info["fingerprint"],
+            "sql": canonical.to_sql(),
+            "cached": info["cached"],
+            "coalesced": info["coalesced"],
+            "duration_ms": round(info["seconds"] * 1000.0, 3),
+            "trace_id": getattr(span, "trace_id", None)
+            or trace.current_trace_id(),
+            "queue_wait_ms":
+                root.attrs.get("queue_wait_ms") if root is not None else None,
+            "cache_outcomes": outcomes,
+            "plan": scan_plan.to_dict() if scan_plan is not None else None,
+            "spans": trace.span_dict(span),
+        }
+        self._telemetry.record(record)
 
     def explain_many(self, name: str, queries: Sequence[GroupByAvgQuery | str],
                      use_summary_cache: bool = True) -> list[ExplanationSummary]:
@@ -406,9 +483,20 @@ class ExplanationEngine:
         if self.max_workers == 1 or len(distinct) <= 1:
             computed = {fingerprints[i]: run(i) for i in distinct}
         else:
+            traced = trace.enabled()
             with ThreadPoolExecutor(
                     max_workers=min(self.max_workers, len(distinct))) as pool:
-                futures = {fingerprints[i]: pool.submit(run, i) for i in distinct}
+                if traced:
+                    # Carry the caller's span context into each worker (one
+                    # context copy per task — a Context cannot be entered
+                    # concurrently), so fanned-out queries stay children of
+                    # the request's trace.
+                    futures = {fingerprints[i]: pool.submit(
+                        contextvars.copy_context().run, run, i)
+                        for i in distinct}
+                else:
+                    futures = {fingerprints[i]: pool.submit(run, i)
+                               for i in distinct}
                 computed = {fp: f.result() for fp, f in futures.items()}
         return [computed[fp] for fp in fingerprints]
 
@@ -639,6 +727,12 @@ class ExplanationEngine:
             result["memory_budget"] = self.memory_budget.stats()
         if self._http_metrics is not None:
             result["http"] = self._http_metrics.snapshot()
+        if self._telemetry is not None:
+            result["telemetry"] = self._telemetry.stats()
+        # The unified repro_<layer>_<name> view of the same numbers; the
+        # classic keys above are the stable API, this is the metrics-scrape
+        # vocabulary (shared with GET /metrics).
+        result["metrics"] = unified_engine_metrics(result)
         return result
 
     @property
@@ -649,9 +743,12 @@ class ExplanationEngine:
 
     # ------------------------------------------------------------------ internals
 
-    def _canonical(self, query: GroupByAvgQuery | str) -> GroupByAvgQuery:
+    def _canonical(self, query: GroupByAvgQuery | str,
+                   outcomes: dict | None = None) -> GroupByAvgQuery:
         if isinstance(query, str):
             parsed = self._plan_cache.get(query)
+            if outcomes is not None:
+                outcomes["plan"] = "miss" if parsed is None else "hit"
             if parsed is None:
                 parsed = parse_query(query)
                 self._plan_cache.put(query, parsed)
@@ -659,25 +756,31 @@ class ExplanationEngine:
         return normalize_query(query)
 
     def _compute(self, state: DatasetState, canonical: GroupByAvgQuery,
-                 plan) -> ExplanationSummary:
+                 plan, outcomes: dict | None = None) -> ExplanationSummary:
         with self._flights_lock:
             self._computations += 1
-        view = self._view(state, canonical, plan)
-        population = self._population(state, plan, view)
+        view = self._view(state, canonical, plan, outcomes)
+        population = self._population(state, plan, view, outcomes)
         algorithm = CauSumX(state.table, state.dag, state.config)
-        return algorithm.explain(
-            canonical,
-            grouping_attributes=state.grouping_attributes,
-            treatment_attributes=state.treatment_attributes,
-            view=view, estimator=population.estimator)
+        with trace.trace_span("engine.mine",
+                              groups=view.m) if trace.enabled() else trace.NOOP:
+            return algorithm.explain(
+                canonical,
+                grouping_attributes=state.grouping_attributes,
+                treatment_attributes=state.treatment_attributes,
+                view=view, estimator=population.estimator)
 
     def _view(self, state: DatasetState, canonical: GroupByAvgQuery,
-              plan) -> AggregateView:
+              plan, outcomes: dict | None = None) -> AggregateView:
         key = (state.name, state.version, plan.fingerprint)
         view = self._view_cache.get(key)
+        if outcomes is not None:
+            outcomes["view"] = "miss" if view is None else "hit"
         if view is None:
-            view = AggregateView(state.table, canonical,
-                                 mask_cache=self._where_mask_cache(state))
+            with trace.trace_span("engine.view_materialize",
+                                  dataset=state.name):
+                view = AggregateView(state.table, canonical,
+                                     mask_cache=self._where_mask_cache(state))
             self._view_cache.put(key, view)
         return view
 
@@ -714,10 +817,12 @@ class ExplanationEngine:
             self._where_masks[state.name] = (state.version, cache)
             return cache
 
-    def _population(self, state: DatasetState, plan,
-                    view: AggregateView) -> _Population:
+    def _population(self, state: DatasetState, plan, view: AggregateView,
+                    outcomes: dict | None = None) -> _Population:
         key = (state.name, state.version, plan.where_key, plan.average)
         population = self._population_cache.get(key)
+        if outcomes is not None:
+            outcomes["population"] = "miss" if population is None else "hit"
         if population is None:
             estimator = self._make_estimator(state, view.table, plan.average)
             population = _Population(plan.filter, estimator)

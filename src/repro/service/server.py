@@ -39,9 +39,11 @@ always had; ``error_code`` is an additional key.
 from __future__ import annotations
 
 import json
+import time
 from typing import IO, Iterable
 
 from repro.core import summary_to_dict
+from repro.obs import trace
 from repro.service.engine import ExplanationEngine
 
 #: Every op the dispatch core understands (``quit`` is loop-only: the HTTP
@@ -178,6 +180,26 @@ def dispatch_request(engine: ExplanationEngine, dataset: str, request: dict,
     return {"ok": True, "result": engine.snapshot()}
 
 
+def finalize_response(response: dict, request_id=None, trace_id=None,
+                      duration_ms=None) -> dict:
+    """Append the envelope tail fields in their one deterministic order.
+
+    Every front end (stdin loop, HTTP tier) finishes its envelope here, so
+    ``id`` → ``trace_id`` → ``duration_ms`` always appear in that order at
+    the end of the body.  With tracing off, ``trace_id``/``duration_ms`` are
+    ``None`` and nothing is appended — the body is byte-identical to a build
+    without observability.  With tracing on, the fixed ordering means a
+    byte-identity check only has to pop the two volatile trailing fields.
+    """
+    if request_id is not None:
+        response["id"] = request_id
+    if trace_id is not None:
+        response["trace_id"] = trace_id
+    if duration_ms is not None:
+        response["duration_ms"] = round(duration_ms, 3)
+    return response
+
+
 def handle_request(engine: ExplanationEngine, dataset: str, line: str) -> dict:
     """Handle one request line and return the response dict.
 
@@ -185,15 +207,18 @@ def handle_request(engine: ExplanationEngine, dataset: str, line: str) -> dict:
     the caller decides to stop on the ``"quit"`` marker.
     """
     request_id = None
-    try:
-        request = parse_request(line)
-        request_id = request.get("id")
-        response = dispatch_request(engine, dataset, request)
-    except Exception as exc:  # noqa: BLE001 — protocol boundary, report and carry on
-        response = error_envelope(exc)
-    if request_id is not None:
-        response["id"] = request_id
-    return response
+    traced = trace.enabled()
+    started = time.perf_counter() if traced else 0.0
+    trace_id = trace.new_trace_id() if traced else None
+    with trace.new_trace("serve.request", trace_id=trace_id):
+        try:
+            request = parse_request(line)
+            request_id = request.get("id")
+            response = dispatch_request(engine, dataset, request)
+        except Exception as exc:  # noqa: BLE001 — protocol boundary, report and carry on
+            response = error_envelope(exc)
+    duration_ms = (time.perf_counter() - started) * 1000.0 if traced else None
+    return finalize_response(response, request_id, trace_id, duration_ms)
 
 
 def serve_loop(engine: ExplanationEngine, dataset: str,

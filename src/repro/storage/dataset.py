@@ -38,6 +38,7 @@ from repro.analysis.lockwatch import named_lock
 from repro.dataframe import MISSING_CODE, Column, LazyColumn, Pattern, Predicate, Table
 from repro.dataframe.column import sorted_code_remap
 from repro.dataframe.predicates import Op
+from repro.obs import trace
 from repro.parallel import GLOBAL_PARALLEL_STATS, map_morsels, worker_count
 from repro.plan.config import planner_enabled
 from repro.plan.execute import merge_shard_counts, scan_indices, shard_scan_indices
@@ -670,6 +671,19 @@ class ShardedTable(Table):
         purely as a **store-code memo** here: repeated hot equality literals
         skip the append-ordered store-vocabulary lookup entirely.
         """
+        if not trace.enabled():
+            return self._plan_shard_select(condition, mask_cache=mask_cache)
+        with trace.trace_span("storage.shard_scan",
+                              dataset=self.name) as span:
+            filtered, plan = self._plan_shard_select(condition,
+                                                     mask_cache=mask_cache)
+            span.set(shards_total=plan.shards_total,
+                     zone_map_skipped=plan.shards_zone_map_skipped,
+                     stats_skipped=plan.shards_stats_skipped,
+                     rows_out=plan.rows_out)
+        return filtered, plan
+
+    def _plan_shard_select(self, condition, mask_cache=None):
         predicates = [condition] if isinstance(condition, Predicate) else \
             list(condition.predicates)
         plan = plan_scan(self, condition, stats=table_stats(self))

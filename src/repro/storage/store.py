@@ -61,6 +61,22 @@ class DatasetStore:
                 f"store format_version {spec.get('format_version')!r} "
                 f"unsupported (this build reads {FORMAT_VERSION})")
         self._datasets: dict[str, StoredDataset] = {}
+        self._telemetry = None
+
+    def telemetry_log(self):
+        """The store's shared query-telemetry sink (``<root>/telemetry/``).
+
+        One :class:`~repro.obs.TelemetryLog` per store object — every engine
+        built from this store appends to the same rotating files.  Creating
+        the log touches no disk until the first record is written, and
+        records are only written while telemetry is enabled, so this is free
+        for stores that never serve with observability on.
+        """
+        if self._telemetry is None:
+            from repro.obs import TelemetryLog
+
+            self._telemetry = TelemetryLog(self.root / "telemetry")
+        return self._telemetry
 
     # ------------------------------------------------------------------ lifecycle
 

@@ -10,6 +10,7 @@ import pytest
 
 from repro.analysis import lockwatch
 from repro.core import CauSumXConfig
+from repro.obs import trace as obs_trace
 from repro.mining.treatments import TreatmentMinerConfig
 from repro.net import (
     AdmissionController,
@@ -100,6 +101,28 @@ def post_json(server, path, body=None, headers=None, timeout=120.0):
     status, raw = http_request(server, "POST", path, body=body,
                                headers=headers, timeout=timeout)
     return status, json.loads(raw)
+
+
+def strip_volatile_tail(body: bytes) -> bytes:
+    """Serialized body minus the per-request observability tail.
+
+    With tracing off this is the identity (the envelope has no ``trace_id``
+    / ``duration_ms``), so the byte-identity assertions stay exact; with
+    tracing on (``REPRO_TRACE=1`` CI leg) it pops exactly the two volatile
+    trailing fields — deterministic envelope ordering guarantees nothing
+    else differs.
+    """
+    if not obs_trace.enabled():
+        return body
+    decoded = json.loads(body)
+    if isinstance(decoded, dict):
+        keys = list(decoded)
+        volatile = [k for k in ("trace_id", "duration_ms") if k in decoded]
+        if volatile:  # the tail fields must come last, in order
+            assert keys[-len(volatile):] == volatile, keys
+        for key in volatile:
+            decoded.pop(key)
+    return (json.dumps(decoded, default=str) + "\n").encode("utf-8")
 
 
 @pytest.fixture(scope="module")
@@ -208,7 +231,7 @@ class TestAdmissionController:
 
 class TestServingMetrics:
     def test_counters_quantiles_and_text_exposition(self):
-        metrics = ServingMetrics(ring_size=8)
+        metrics = ServingMetrics()
         for i in range(4):
             metrics.record("explain", 200, 0.010 * (i + 1), tenant="a")
         metrics.record("explain", 429, 0.001, tenant="b")
@@ -217,19 +240,30 @@ class TestServingMetrics:
         assert snap["requests"]["explain"]["200"] == 4
         assert snap["shed_total"] == 1
         assert snap["active_tenants"] == ["a", "b"]
+        # Histogram quantiles report bucket upper bounds, so they bracket
+        # the observed values with one bucket's slack (≈26% geometric step).
         assert 0.001 <= snap["latency_seconds"]["p50"] \
-            <= snap["latency_seconds"]["p99"] <= 0.040
+            <= snap["latency_seconds"]["p99"] <= 0.051
         text = metrics.render_text()
         assert 'repro_http_requests_total{op="explain",status="429"} 1' in text
         assert "repro_http_shed_total 1" in text
+        # The histogram family exports cumulative buckets ending at +Inf.
+        assert "# TYPE repro_http_request_duration_seconds histogram" in text
+        assert 'repro_http_request_duration_seconds_bucket{le="+Inf"} 5' \
+            in text
+        assert "repro_http_request_duration_seconds_count 5" in text
 
-    def test_ring_buffer_is_bounded(self):
-        metrics = ServingMetrics(ring_size=4)
-        for i in range(100):
-            metrics.record("stats", 200, float(i))
+    def test_no_truncation_under_sustained_load(self):
+        # The old fixed-size latency ring silently dropped all but the
+        # newest samples; the histogram keeps every observation.
+        metrics = ServingMetrics()
+        for i in range(10_000):
+            metrics.record("stats", 200, 0.001 if i % 2 else 0.9)
         snap = metrics.snapshot()
-        assert snap["latency_seconds"]["window"] == 4
-        assert snap["latency_seconds"]["p50"] >= 96.0  # only the newest kept
+        assert snap["latency_seconds"]["window"] == 10_000
+        # Both modes stay visible: p50 near the fast mode, p99 at the slow.
+        assert snap["latency_seconds"]["p50"] <= 0.01
+        assert snap["latency_seconds"]["p99"] >= 0.8
 
 
 class TestDeadline:
@@ -344,9 +378,11 @@ class TestHTTPServer:
             serve_loop(engine, registry.default_dataset,
                        [json.dumps(request)], out)
             via_stdin = out.getvalue().encode("utf-8")
-            assert via_http == via_stdin
+            assert strip_volatile_tail(via_http) == \
+                strip_volatile_tail(via_stdin)
             assert json.loads(via_http)["cached"] is True
-            assert via_http != first  # first compute reported cached: false
+            assert strip_volatile_tail(via_http) != \
+                strip_volatile_tail(first)  # first compute: cached false
 
     def test_protocol_errors_map_to_statuses(self, so_net):
         registry = make_registry(so_net)
@@ -499,3 +535,149 @@ class TestHTTPServer:
         finally:
             watch.reset()
             lockwatch.disable()
+
+
+# ------------------------------------------------------------------ observability
+
+
+class TestHTTPObservability:
+    def test_trace_id_echoed_in_envelope_header_and_errors(self, so_net):
+        registry = make_registry(so_net)
+        with obs_trace.tracing(True), live_server(registry) as server:
+            status, raw = http_request(
+                server, "POST", "/v1/explain",
+                body={"op": "explain", "query": BASE_QUERY, "id": 3},
+                headers={"X-Repro-Trace-Id": "feedc0de00000001"})
+            assert status == 200
+            body = json.loads(raw)
+            assert body["trace_id"] == "feedc0de00000001"
+            assert isinstance(body["duration_ms"], float)
+            # Deterministic envelope tail: id, trace_id, duration_ms — last.
+            assert list(body)[-3:] == ["id", "trace_id", "duration_ms"]
+            # Error envelopes carry the trace id too.
+            status, raw = http_request(server, "POST", "/v1/explain",
+                                       body={"query": "SELECT"},
+                                       headers={"X-Repro-Trace-Id": "abc123"})
+            assert status == 400
+            error_body = json.loads(raw)
+            assert error_body["ok"] is False
+            assert error_body["trace_id"] == "abc123"
+            # A request without the header gets a generated 16-hex id.
+            status, raw = http_request(server, "POST", "/v1/stats")
+            generated = json.loads(raw)["trace_id"]
+            assert len(generated) == 16
+            int(generated, 16)
+
+    def test_trace_id_response_header(self, so_net):
+        registry = make_registry(so_net)
+        with obs_trace.tracing(True), live_server(registry) as server:
+            host, port = server.server_address[:2]
+            payload = json.dumps({"op": "stats"}).encode()
+            request = (f"POST /v1/stats HTTP/1.1\r\nHost: {host}:{port}\r\n"
+                       f"Connection: close\r\n"
+                       f"X-Repro-Trace-Id: cafe0000cafe0000\r\n"
+                       f"Content-Length: {len(payload)}\r\n\r\n"
+                       ).encode() + payload
+            with socket.create_connection((host, port), timeout=120) as conn:
+                conn.sendall(request)
+                raw = b""
+                while True:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        break
+                    raw += chunk
+            head = raw.partition(b"\r\n\r\n")[0].decode("latin-1")
+            assert "x-repro-trace-id: cafe0000cafe0000" in head.lower()
+
+    def test_tracing_off_omits_trace_fields_and_header(self, so_net):
+        registry = make_registry(so_net)
+        with obs_trace.tracing(False), live_server(registry) as server:
+            status, raw = http_request(
+                server, "POST", "/v1/stats",
+                headers={"X-Repro-Trace-Id": "feedc0de00000001"})
+            assert status == 200
+            body = json.loads(raw)
+            assert "trace_id" not in body
+            assert "duration_ms" not in body
+
+    def test_byte_identity_with_tracing_on(self, so_net):
+        registry = make_registry(so_net)
+        with obs_trace.tracing(True), live_server(registry) as server:
+            request = {"op": "explain", "query": BASE_QUERY, "id": 9}
+            http_request(server, "POST", "/v1/explain", body=request)  # warm
+            _, via_http = http_request(server, "POST", "/v1/explain",
+                                       body=request)
+            engine = server.registry.engine_for("default")
+            out = __import__("io").StringIO()
+            serve_loop(engine, registry.default_dataset,
+                       [json.dumps(request)], out)
+            via_stdin = out.getvalue().encode("utf-8")
+            assert via_http != via_stdin  # trace ids differ...
+            assert strip_volatile_tail(via_http) == \
+                strip_volatile_tail(via_stdin)  # ...and nothing else
+
+    def test_shed_while_queued_counted_exactly_once(self, so_net):
+        # Regression pin for the queue-drop accounting fixed with the
+        # serving tier: a request shed *while queued* (drain began during
+        # its wait) must appear exactly once in shed_total and exactly once
+        # in its per-status counter — not once per counter family per path.
+        registry = make_registry(so_net)
+        server = create_server(registry, "127.0.0.1", 0,
+                               max_inflight=1, max_queue=4)
+        serve_in_thread(server)
+        entered = threading.Event()
+        release = threading.Event()
+        results: list = []
+        try:
+            def holder():
+                with server.admission.admit("holder"):
+                    entered.set()
+                    release.wait(timeout=30)
+
+            def queued():
+                results.append(post_json(server, "/v1/stats"))
+
+            hold_thread = threading.Thread(target=holder)
+            hold_thread.start()
+            assert entered.wait(timeout=30)
+            queued_thread = threading.Thread(target=queued)
+            queued_thread.start()
+            deadline = time.monotonic() + 30
+            while server.admission.stats()["queued"] < 1:
+                assert time.monotonic() < deadline, "request never queued"
+                time.sleep(0.005)
+            server.admission.close()  # shed the queued request mid-wait
+            queued_thread.join(timeout=30)
+            release.set()
+            hold_thread.join(timeout=30)
+            status, body = results[0]
+            assert status == 503
+            assert body["error_code"] == "draining"
+            snap = server.metrics.snapshot()
+            assert snap["shed_total"] == 1
+            assert snap["requests"]["stats"]["503"] == 1
+            assert snap["requests_total"] == 1
+        finally:
+            release.set()
+            server.graceful_shutdown(drain_timeout=5.0)
+
+    def test_unified_metrics_on_metrics_endpoint(self, so_net):
+        registry = make_registry(so_net)
+        with live_server(registry) as server:
+            post_json(server, "/v1/explain", {"query": BASE_QUERY})
+            status, raw = http_request(server, "GET", "/metrics")
+            assert status == 200
+            body = json.loads(raw)
+            unified = body["unified"]
+            assert set(unified) == {"counters", "gauges", "histograms",
+                                    "providers"}
+            # Global-stat providers surface under the unified vocabulary.
+            assert any(key.startswith("repro_planner_")
+                       for key in unified["providers"].get("planner", {}))
+            assert any(key.startswith("repro_parallel_")
+                       for key in unified["providers"].get("parallel", {}))
+            status, raw = http_request(server, "GET", "/metrics?format=text")
+            assert status == 200
+            text = raw.decode("utf-8")
+            assert "# TYPE repro_http_requests_total counter" in text
+            assert "repro_planner_plans" in text

@@ -322,6 +322,8 @@ class TestServerProtocol:
         assert len(responses) == 3
         assert all(r["ok"] for r in responses)
         # Every request gets exactly one response: quit is acknowledged too.
+        for volatile in ("trace_id", "duration_ms"):  # present under REPRO_TRACE=1
+            responses[2].pop(volatile, None)
         assert responses[2] == {"ok": True, "quit": True, "id": 2}
 
     def test_read_queries_formats(self):
