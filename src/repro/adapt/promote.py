@@ -1,0 +1,115 @@
+"""Hot-predicate tracking: which WHERE conjuncts earn a bitmap index.
+
+The :class:`HeatTracker` counts how often each conjunct is *served* (cache
+hits included — heat measures demand, not computation) per dataset.  Past
+``heat_threshold`` serves a predicate is **hot**, and the engine promotes it:
+an exact per-shard packed bitmap is committed into the manifest
+(:meth:`repro.storage.dataset.StoredDataset.promote_index`), after which the
+executor answers that conjunct with ``np.unpackbits`` + fancy indexing
+instead of a predicate kernel.
+
+Heat also drives demotion: when committing one more index would exceed the
+byte budget, the coldest committed index (lowest ``(count, last-served)``
+rank) is dropped — but only if it is strictly colder than the candidate, so
+two hot predicates cannot demote each other back and forth.
+
+Warm start replays heat from the telemetry log (:meth:`warm`) so a restarted
+server re-promotes its hot set without waiting for the live counters to
+refill — committed indexes themselves already survive restart in the
+manifest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.lockwatch import named_lock
+from repro.dataframe.predicates import Predicate
+
+
+@dataclass
+class _Heat:
+    count: int = 0
+    last_seq: int = 0
+    predicate: Predicate | None = None
+
+
+class HeatTracker:
+    """Served-conjunct frequency counters per dataset (thread-safe)."""
+
+    def __init__(self):
+        self._lock = named_lock("HeatTracker._lock")
+        #: {(dataset, predicate repr): _Heat}
+        self._entries: dict[tuple[str, str], _Heat] = {}  # guarded-by: _lock
+        self._seq = 0  # guarded-by: _lock
+        self._recorded = 0  # guarded-by: _lock
+
+    def record(self, dataset: str, predicates) -> None:
+        """Count one serving of each conjunct in ``predicates``."""
+        with self._lock:
+            self._seq += 1
+            for predicate in predicates:
+                key = (dataset, repr(predicate))
+                entry = self._entries.get(key)
+                if entry is None:
+                    entry = self._entries[key] = _Heat(predicate=predicate)
+                entry.count += 1
+                entry.last_seq = self._seq
+                self._recorded += 1
+
+    def warm(self, dataset: str, predicate_key: str, count: int,
+             predicate: Predicate | None = None) -> None:
+        """Replay ``count`` historical serves (telemetry warm start)."""
+        if count <= 0:
+            return
+        with self._lock:
+            self._seq += 1
+            key = (dataset, predicate_key)
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._entries[key] = _Heat(predicate=predicate)
+            elif entry.predicate is None and predicate is not None:
+                entry.predicate = predicate
+            entry.count += int(count)
+            entry.last_seq = self._seq
+            self._recorded += int(count)
+
+    # ------------------------------------------------------------- querying
+
+    def hot(self, dataset: str,
+            threshold: int) -> list[tuple[str, Predicate | None]]:
+        """``(key, predicate)`` for every conjunct at/past ``threshold``,
+        hottest first."""
+        with self._lock:
+            rows = [(entry.count, entry.last_seq, key[1], entry.predicate)
+                    for key, entry in self._entries.items()
+                    if key[0] == dataset and entry.count >= threshold]
+        rows.sort(key=lambda r: (-r[0], -r[1], r[2]))
+        return [(key, predicate) for _, _, key, predicate in rows]
+
+    def rank(self, dataset: str, predicate_key: str) -> tuple[int, int]:
+        """LRU rank ``(count, last served seq)``; higher is hotter.
+
+        Unknown keys rank coldest — a committed index whose heat history was
+        lost (restart without telemetry) is the first demotion candidate.
+        """
+        with self._lock:
+            entry = self._entries.get((dataset, predicate_key))
+            if entry is None:
+                return (0, 0)
+            return (entry.count, entry.last_seq)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"tracked_conjuncts": len(self._entries),
+                    "serves_recorded": self._recorded}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._seq = 0
+            self._recorded = 0
+
+
+#: One process-wide tracker, mirroring GLOBAL_PLANNER_STATS.
+GLOBAL_HEAT = HeatTracker()

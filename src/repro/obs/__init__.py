@@ -20,7 +20,8 @@ Three pieces, designed to be free when off and cheap when on:
 from repro.obs import trace
 from repro.obs.registry import (REGISTRY, Counter, Gauge, LogHistogram,
                                 MetricsRegistry, unified_engine_metrics)
-from repro.obs.telemetry import TelemetryLog, read_records, telemetry_enabled
+from repro.obs.telemetry import (TelemetryLog, TelemetryReader,
+                                 read_records, telemetry_enabled)
 from repro.obs.trace import (current_root, current_span, current_trace_id,
                              new_trace, new_trace_id, set_current_attr,
                              set_root_attr, span_dict, trace_span, tracing)
@@ -34,6 +35,7 @@ __all__ = [
     "MetricsRegistry",
     "unified_engine_metrics",
     "TelemetryLog",
+    "TelemetryReader",
     "read_records",
     "telemetry_enabled",
     "current_root",

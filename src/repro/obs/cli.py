@@ -4,13 +4,20 @@ Three views over ``<store>/telemetry/queries-*.jsonl``:
 
 * ``repro obs summary STORE`` — totals, cache-outcome rates, and the
   planner's estimated-vs-actual selectivity error across every record;
+  ``--per-conjunct [N]`` appends the N worst-estimated served conjuncts
+  (ranked by mean |estimated − actual| selectivity error) — the same
+  rows the adaptive planner's warm start corrects from;
 * ``repro obs top STORE`` — the most frequent query fingerprints with
   request counts and mean latency;
 * ``repro obs slow STORE`` — the slowest individual requests, with where
   the time went (their top spans).
 
 ``STORE`` is a store root (the ``telemetry/`` subdirectory is implied) or a
-telemetry directory itself.
+telemetry directory itself.  Reading goes through
+:class:`~repro.obs.TelemetryReader`: given a store root, records whose
+dataset or data version is unknown to the store's committed manifests are
+skipped as stale (and counted); a bare telemetry directory is read
+unfiltered.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.obs.telemetry import read_records
+from repro.obs.telemetry import TelemetryReader
 
 
 def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -33,12 +40,31 @@ def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         if name in ("top", "slow"):
             cmd.add_argument("-n", "--limit", type=int, default=10,
                              help="rows to show (default 10)")
+        if name == "summary":
+            cmd.add_argument("--per-conjunct", type=int, nargs="?",
+                             const=10, default=None, metavar="N",
+                             help="also rank the N worst-estimated served "
+                                  "conjuncts (default 10)")
 
 
 def telemetry_directory(store: Path) -> Path:
     """Resolve a store root or telemetry directory to the telemetry directory."""
     candidate = store / "telemetry"
     return candidate if candidate.is_dir() else store
+
+
+def telemetry_reader(store: Path) -> TelemetryReader:
+    """Build the reader for a store root or bare telemetry directory.
+
+    A store root (``STORE.json`` present) gets the store's version-filtered
+    reader; a bare directory is read unfiltered (no versions to check
+    against).
+    """
+    if (store / "STORE.json").exists():
+        from repro.storage import DatasetStore
+
+        return DatasetStore(store).telemetry_reader()
+    return TelemetryReader(telemetry_directory(store))
 
 
 def aggregate(records: list[dict]) -> dict:
@@ -137,7 +163,8 @@ def _span_hotspots(record: dict, n: int = 3) -> str:
 
 def run_obs(args: argparse.Namespace) -> int:
     directory = telemetry_directory(args.store)
-    records, corrupt = read_records(directory)
+    reader = telemetry_reader(args.store)
+    records, corrupt, stale = reader.read()
     if not records:
         print(f"no telemetry records under {directory} "
               f"(set REPRO_TRACE=1 — or REPRO_TELEMETRY=1 — while serving "
@@ -146,7 +173,8 @@ def run_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "summary":
         summary = aggregate(records)
         print(f"telemetry: {summary['records']} records "
-              f"({corrupt} corrupt line(s) skipped) under {directory}")
+              f"({corrupt} corrupt line(s), {stale} stale record(s) skipped) "
+              f"under {directory}")
         for dataset, count in summary["by_dataset"].items():
             print(f"  dataset {dataset}: {count} queries")
         for level, rate in summary["cache_hit_rates"].items():
@@ -161,6 +189,16 @@ def run_obs(args: argparse.Namespace) -> int:
         if summary["queue_wait_ms_max"] is not None:
             print(f"  admission queue wait: max "
                   f"{summary['queue_wait_ms_max']:.2f}ms")
+        per_conjunct = getattr(args, "per_conjunct", None)
+        if per_conjunct:
+            print(f"worst-estimated conjuncts (top {per_conjunct}):")
+            for row in reader.conjunct_stats()[:per_conjunct]:
+                print(f"  {row['count']:>6}x  "
+                      f"|err| mean {row['mean_abs_error']:.4f} "
+                      f"max {row['max_abs_error']:.4f}  "
+                      f"est {row['mean_estimated']:.4f} "
+                      f"actual {row['mean_actual']:.4f}  "
+                      f"{row['dataset']}: {row['predicate']}")
         return 0
     if args.obs_command == "top":
         for row in _top(records, args.limit):

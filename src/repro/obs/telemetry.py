@@ -224,3 +224,99 @@ def read_records(directory: str | Path) -> tuple[list[dict], int]:
         else:
             records.append(record)
     return records, corrupt
+
+
+class TelemetryReader:
+    """Version-filtered reading + per-conjunct aggregation of telemetry.
+
+    The consumer-facing API over the raw JSONL files: ``repro obs`` and the
+    adaptive warm start (:mod:`repro.adapt`) both go through it instead of
+    parsing lines themselves.  When ``versions`` maps dataset names to their
+    current committed manifest versions, records for unknown datasets or
+    with a data version outside ``[min_versions.get(name, 0), versions[name]]``
+    are **skipped as stale**: telemetry files outlive store rebuilds (the
+    log is outside the manifest protocol by design), so a re-imported store
+    can see leftover records whose versions never existed in its history.
+    Without ``versions`` every intact record passes (bare-directory use).
+    """
+
+    def __init__(self, directory: str | Path,
+                 versions: dict[str, int] | None = None,
+                 min_versions: dict[str, int] | None = None):
+        self.directory = Path(directory)
+        self.versions = versions
+        self.min_versions = min_versions or {}
+
+    def _fresh(self, record: dict) -> bool:
+        if self.versions is None:
+            return True
+        dataset = record.get("dataset")
+        version = record.get("version")
+        if dataset not in self.versions or not isinstance(version, int):
+            return False
+        return self.min_versions.get(dataset, 0) <= version <= \
+            self.versions[dataset]
+
+    def read(self) -> tuple[list[dict], int, int]:
+        """``(fresh records, corrupt lines, stale records skipped)``."""
+        records: list[dict] = []
+        corrupt = stale = 0
+        for record in iter_records(self.directory):
+            if record is None:
+                corrupt += 1
+            elif self._fresh(record):
+                records.append(record)
+            else:
+                stale += 1
+        return records, corrupt, stale
+
+    def conjunct_stats(self) -> list[dict]:
+        """Per ``(dataset, conjunct)`` estimate-quality aggregation.
+
+        One row per distinct served conjunct carrying its serve count, mean
+        and max |estimated − actual| selectivity error, and the mean
+        estimated/actual values — ranked worst mean error first (ties:
+        most-served, then predicate text), which is exactly the ``repro obs
+        summary --per-conjunct`` ordering.  Conjuncts that never executed
+        (``actual_selectivity`` null) count serves but contribute no error.
+        """
+        rows: dict[tuple[str, str], dict] = {}
+        for record in self.read()[0]:
+            plan = record.get("plan") or {}
+            for conjunct in plan.get("conjuncts", []):
+                predicate = conjunct.get("predicate")
+                if not isinstance(predicate, str):
+                    continue
+                key = (str(record.get("dataset")), predicate)
+                row = rows.get(key)
+                if row is None:
+                    row = rows[key] = {
+                        "dataset": key[0], "predicate": predicate,
+                        "count": 0, "errors": 0, "error_sum": 0.0,
+                        "max_abs_error": 0.0, "estimated_sum": 0.0,
+                        "actual_sum": 0.0}
+                row["count"] += 1
+                estimated = conjunct.get("estimated_selectivity")
+                actual = conjunct.get("actual_selectivity")
+                if isinstance(estimated, (int, float)) and \
+                        isinstance(actual, (int, float)):
+                    error = abs(float(estimated) - float(actual))
+                    row["errors"] += 1
+                    row["error_sum"] += error
+                    row["max_abs_error"] = max(row["max_abs_error"], error)
+                    row["estimated_sum"] += float(estimated)
+                    row["actual_sum"] += float(actual)
+        out = []
+        for row in rows.values():
+            executed = max(1, row["errors"])
+            out.append({
+                "dataset": row["dataset"], "predicate": row["predicate"],
+                "count": row["count"], "executed": row["errors"],
+                "mean_abs_error": row["error_sum"] / executed,
+                "max_abs_error": row["max_abs_error"],
+                "mean_estimated": row["estimated_sum"] / executed,
+                "mean_actual": row["actual_sum"] / executed,
+            })
+        out.sort(key=lambda r: (-r["mean_abs_error"], -r["count"],
+                                r["dataset"], r["predicate"]))
+        return out

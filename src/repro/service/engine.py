@@ -57,6 +57,13 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.adapt import (
+    GLOBAL_CORRECTOR,
+    GLOBAL_HEAT,
+    adaptive_config,
+    adaptive_enabled,
+    predicate_from_repr,
+)
 from repro.analysis.lockwatch import named_lock
 from repro.causal import CATEEstimator
 from repro.core import CauSumX, CauSumXConfig, ExplanationSummary
@@ -266,6 +273,8 @@ class ExplanationEngine:
                 restored += 1
         with engine._flights_lock:
             engine._restored_summaries = restored
+        if adaptive_enabled():
+            engine._warm_adaptive(store)
         return engine
 
     def snapshot(self) -> dict:
@@ -360,16 +369,19 @@ class ExplanationEngine:
         telemetered = self._telemetry is not None and telemetry_enabled()
         outcomes = {} if (telemetered or trace.enabled()) else None
         with trace.trace_span("engine.explain", dataset=name) as span:
-            summary, info, canonical = self._explain_serve(
+            summary, info, canonical, plan = self._explain_serve(
                 name, query, use_summary_cache, outcomes, start)
         if telemetered:
             self._record_telemetry(info, outcomes, span, canonical)
+        if adaptive_enabled():
+            self._adaptive_tick(name, plan)
         return summary, info
 
     def _explain_serve(self, name: str, query: GroupByAvgQuery | str,
                        use_summary_cache: bool, outcomes: dict | None,
                        start: float
-                       ) -> tuple[ExplanationSummary, dict, GroupByAvgQuery]:
+                       ) -> tuple[ExplanationSummary, dict, GroupByAvgQuery,
+                                  object]:
         """The serving core of :meth:`explain_with_info`.
 
         ``outcomes`` (when not ``None``) collects per-cache-level hit/miss
@@ -392,7 +404,7 @@ class ExplanationEngine:
                     outcomes["summary"] = "hit"
                 info["cached"] = True
                 info["seconds"] = time.perf_counter() - start
-                return summary, info, canonical
+                return summary, info, canonical, plan
         if outcomes is not None:
             outcomes["summary"] = "miss"
 
@@ -419,7 +431,7 @@ class ExplanationEngine:
                         self._flights.pop(key, None)
                     flight.done.set()
                 info["seconds"] = time.perf_counter() - start
-                return summary, info, canonical
+                return summary, info, canonical, plan
             flight.done.wait()
             if flight.error is None and flight.summary is not None:
                 with self._flights_lock:
@@ -428,7 +440,7 @@ class ExplanationEngine:
                     outcomes["flight"] = "coalesced"
                 info["coalesced"] = True
                 info["seconds"] = time.perf_counter() - start
-                return flight.summary, info, canonical
+                return flight.summary, info, canonical, plan
             # The leader failed; retry (and possibly become the leader).
 
     def _record_telemetry(self, info: dict, outcomes: dict | None, span,
@@ -523,6 +535,9 @@ class ExplanationEngine:
             _, scan_plan = planned_select_with_plan(
                 state.table, plan.filter,
                 mask_cache=self._where_mask_cache(state))
+            if adaptive_enabled():
+                GLOBAL_CORRECTOR.observe_plan(self._incarnation(state),
+                                              scan_plan)
         scan = scan_plan.to_dict() if scan_plan is not None else None
         return {
             "dataset": name,
@@ -536,6 +551,150 @@ class ExplanationEngine:
                      "filtered": view.table.n_rows},
             "groups": view.m,
         }
+
+    # ------------------------------------------------------------------ adaptive loop
+
+    @staticmethod
+    def _incarnation(state: DatasetState) -> tuple[str, int]:
+        """The corrector key prefix — matches ``TableStats.incarnation``."""
+        return (state.table.name, state.table.n_rows)
+
+    def _adaptive_tick(self, name: str, plan) -> None:
+        """One turn of the adaptive loop, after a query was served.
+
+        Heat is recorded for every served WHERE conjunct (cache hits
+        included — heat measures demand); then cached views whose planned
+        estimates have drifted past the threshold are purged (they re-plan
+        with corrected estimates on next materialization), and at most one
+        newly hot predicate is promoted to a committed bitmap index, with
+        LRU-by-heat demotion under the byte budget.  The tick never touches
+        results — it only reorders and pre-answers future scans.
+        """
+        config = adaptive_config()
+        try:
+            state = self.dataset_state(name)
+        except KeyError:  # pragma: no cover - raced with deregistration
+            return
+        predicates = list(plan.conjuncts)
+        if predicates:
+            GLOBAL_HEAT.record(name, predicates)
+            self._check_drift(state, config)
+            if state.store is not None:
+                self._maybe_promote(state, config)
+
+    def _check_drift(self, state: DatasetState, config) -> None:
+        """Purge cached views whose plans the corrector now disagrees with.
+
+        The "plan cache" the drift loop invalidates is the **view cache**:
+        views hold the executed :class:`ScanPlan` (the physical schedule),
+        and purging one forces the next serve to re-materialise — and
+        therefore re-plan with the corrected estimates.  Summaries stay
+        cached: drift changes performance, never results.
+        """
+        incarnation = self._incarnation(state)
+        stale = []
+        for key, view in self._view_cache.items():
+            if key[0] != state.name or key[1] != state.version:
+                continue
+            scan_plan = getattr(view, "scan_plan", None)
+            if scan_plan is None:
+                continue
+            drift = 0.0
+            for conjunct in scan_plan.conjuncts:
+                corrected, applied = GLOBAL_CORRECTOR.correction(
+                    incarnation, conjunct.predicate,
+                    conjunct.estimated_selectivity)
+                if applied:
+                    drift = max(drift,
+                                abs(corrected - conjunct.estimated_selectivity))
+            if drift > config.drift_threshold:
+                stale.append(key)
+        if stale:
+            for stale_key in stale:
+                self._view_cache.purge(lambda k, sk=stale_key: k == sk)
+            GLOBAL_PLANNER_STATS.record_drift_replans(len(stale))
+
+    def _maybe_promote(self, state: DatasetState, config) -> None:
+        """Commit a bitmap index for the hottest unindexed predicate, if any.
+
+        At most one promotion per serve bounds the inline latency a single
+        request can absorb; the loop converges over the next few serves.
+        Demotion only evicts a committed index *strictly colder* than the
+        candidate, so two hot predicates can never demote each other back
+        and forth under a tight budget.
+        """
+        from repro.storage.format import StorageError
+
+        hot = GLOBAL_HEAT.hot(state.name, config.heat_threshold)
+        if not hot:
+            return
+        store = state.store
+        stats = store.index_stats()
+        committed = {key: entry["nbytes"]
+                     for key, entry in stats["indexes"].items()}
+        total = stats["total_nbytes"]
+        for key, predicate in hot:
+            if predicate is None or key in committed:
+                continue
+            if predicate.attribute not in state.table.attributes:
+                continue
+            estimate = (store.manifest.n_rows + 7) // 8
+            while committed and total + estimate > config.index_budget_bytes:
+                victim = min(committed,
+                             key=lambda k: GLOBAL_HEAT.rank(state.name, k))
+                if GLOBAL_HEAT.rank(state.name, victim) >= \
+                        GLOBAL_HEAT.rank(state.name, key):
+                    break
+                try:
+                    store.drop_index(victim)
+                except StorageError:  # pragma: no cover - concurrent writer
+                    break
+                total -= committed.pop(victim)
+                dropper = getattr(state.table, "drop_predicate_index", None)
+                if dropper is not None:
+                    dropper(victim)
+                GLOBAL_PLANNER_STATS.record_index_demotions()
+            if total + estimate > config.index_budget_bytes:
+                continue  # does not fit even after eligible demotions
+            try:
+                result = store.promote_index(predicate)
+            except StorageError:
+                continue
+            GLOBAL_PLANNER_STATS.record_index_promotions()
+            # Serve the new index on the live handle immediately; committed
+            # coverage alone would only apply after the next reload.  An
+            # index commit never bumps the version, so a mismatch means the
+            # live table predates other committed changes — skip then.
+            installer = getattr(state.table, "install_predicate_index", None)
+            if installer is not None and \
+                    getattr(state.table, "version", None) == result["version"]:
+                installer(result["key"], result["masks"])
+            break
+
+    def _warm_adaptive(self, store) -> None:
+        """Replay persisted telemetry into the corrector + heat tracker.
+
+        Runs once at ``from_store`` time, through the version-filtered
+        :meth:`~repro.storage.DatasetStore.telemetry_reader` — stale-version
+        records never pollute the current incarnation's corrections.
+        """
+        try:
+            rows = store.telemetry_reader().conjunct_stats()
+        except OSError:  # pragma: no cover - unreadable telemetry dir
+            return
+        for row in rows:
+            name = row["dataset"]
+            with self._datasets_lock:
+                state = self._datasets.get(name)
+            if state is None:
+                continue
+            predicate = predicate_from_repr(row["predicate"])
+            GLOBAL_HEAT.warm(name, row["predicate"], row["count"], predicate)
+            if row["executed"]:
+                GLOBAL_CORRECTOR.observe(
+                    self._incarnation(state), row["predicate"],
+                    row["mean_estimated"], row["mean_actual"],
+                    weight=row["executed"])
 
     # ------------------------------------------------------------------ incremental data
 
@@ -702,6 +861,9 @@ class ExplanationEngine:
                 name: {"hits": s.hits, "misses": s.misses,
                        "entries": s.entries, "bytes": s.bytes}
                 for name, s in where_masks.items()},
+            "adaptive": {"enabled": adaptive_enabled(),
+                         "corrector": GLOBAL_CORRECTOR.snapshot(),
+                         "heat": GLOBAL_HEAT.snapshot()},
         }
         result = {
             "datasets": datasets,
@@ -782,6 +944,12 @@ class ExplanationEngine:
                 view = AggregateView(state.table, canonical,
                                      mask_cache=self._where_mask_cache(state))
             self._view_cache.put(key, view)
+            if adaptive_enabled():
+                # Feed the executed scan's estimated-vs-actual selectivities
+                # into the corrector — the source of every later correction,
+                # drift purge, and (via heat, separately) index promotion.
+                GLOBAL_CORRECTOR.observe_plan(
+                    self._incarnation(state), getattr(view, "scan_plan", None))
         return view
 
     def _where_mask_cache(self, state: DatasetState) -> MaskCache:

@@ -78,6 +78,22 @@ class DatasetStore:
             self._telemetry = TelemetryLog(self.root / "telemetry")
         return self._telemetry
 
+    def telemetry_reader(self):
+        """A version-filtered reader over the store's telemetry files.
+
+        The reader drops records whose dataset is unknown to the store or
+        whose recorded data version falls outside the dataset's committed
+        window — leftovers of a deleted-and-recreated store at the same
+        path would otherwise pollute every aggregate that joins telemetry
+        against current statistics (``repro obs summary``, the adaptive
+        warm start).
+        """
+        from repro.obs.telemetry import TelemetryReader
+
+        versions = {name: self.dataset(name).manifest.version
+                    for name in self.dataset_names()}
+        return TelemetryReader(self.root / "telemetry", versions=versions)
+
     # ------------------------------------------------------------------ lifecycle
 
     @classmethod
